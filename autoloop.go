@@ -1,0 +1,69 @@
+// Package autoloop is a reproduction of "Autonomy Loops for Monitoring,
+// Operational Data Analytics, Feedback, and Response in HPC Operations"
+// (IEEE CLUSTER 2023, arXiv:2401.16971): a framework for MAPE-K autonomy
+// loops over holistic HPC telemetry, together with the complete simulated
+// substrate needed to exercise them — cluster hardware, facility cooling, a
+// SLURM-like batch scheduler, a Lustre-like parallel filesystem, and
+// instrumented applications.
+//
+// The paper's five use cases (Scheduler walltime extension, Maintenance,
+// I/O QoS, OST avoidance, Misconfiguration) are implemented end to end in
+// internal/cases, the four Fig. 2 decentralization patterns in
+// internal/core, and one experiment per figure/claim in
+// internal/experiments (run them with cmd/modaloop, or via the benchmarks
+// in bench_test.go).
+//
+// This facade re-exports the core MAPE-K vocabulary so that the README's
+// snippets read from one import; the full surface lives in the internal
+// packages, wired as shown in examples/.
+package autoloop
+
+import (
+	"autoloop/internal/core"
+	"autoloop/internal/experiments"
+	"autoloop/internal/knowledge"
+	"autoloop/internal/sim"
+)
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Core MAPE-K vocabulary (see internal/core for documentation).
+type (
+	// Loop is one MAPE-K autonomy loop.
+	Loop = core.Loop
+	// Monitor collects observations from the managed system.
+	Monitor = core.Monitor
+	// Analyzer turns observations into symptoms.
+	Analyzer = core.Analyzer
+	// Planner turns symptoms into actions.
+	Planner = core.Planner
+	// Executor applies actions to the managed system.
+	Executor = core.Executor
+	// Knowledge is the shared K of MAPE-K.
+	Knowledge = knowledge.Base
+	// Engine is the deterministic discrete-event simulator.
+	Engine = sim.Engine
+	// Result is one experiment's reproduced table.
+	Result = experiments.Result
+)
+
+// NewLoop constructs a named loop from the four MAPE phases.
+func NewLoop(name string, m Monitor, a Analyzer, p Planner, e Executor) *Loop {
+	return core.NewLoop(name, m, a, p, e)
+}
+
+// NewEngine returns a seeded simulation engine.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// NewKnowledge returns an empty knowledge base.
+func NewKnowledge() *Knowledge { return knowledge.NewBase() }
+
+// RunExperiment executes one of the paper-reproduction experiments
+// (e.g. "EXP-F3"); see ExperimentIDs for the index.
+func RunExperiment(id string, seed int64, quick bool) (*Result, error) {
+	return experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+}
+
+// ExperimentIDs lists every reproduced figure/claim experiment.
+func ExperimentIDs() []string { return experiments.IDs() }

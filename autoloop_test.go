@@ -1,0 +1,65 @@
+package autoloop_test
+
+import (
+	"testing"
+	"time"
+
+	"autoloop"
+	"autoloop/internal/core"
+	"autoloop/internal/telemetry"
+)
+
+func TestFacadeVersionAndIDs(t *testing.T) {
+	if autoloop.Version == "" {
+		t.Error("empty version")
+	}
+	ids := autoloop.ExperimentIDs()
+	if len(ids) != 15 {
+		t.Errorf("ExperimentIDs = %d, want 15", len(ids))
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	res, err := autoloop.RunExperiment("EXP-A4", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if _, err := autoloop.RunExperiment("EXP-NOPE", 1, true); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// TestFacadeBuildLoop exercises the facade types end to end: a user builds a
+// loop from the re-exported vocabulary without importing internal packages
+// directly (beyond the adapters).
+func TestFacadeBuildLoop(t *testing.T) {
+	engine := autoloop.NewEngine(1)
+	kb := autoloop.NewKnowledge()
+	acted := 0
+	loop := autoloop.NewLoop("demo",
+		core.MonitorFunc(func(now time.Duration) (core.Observation, error) {
+			return core.Observation{Time: now, Points: []telemetry.Point{
+				{Name: "x", Time: now, Value: 10},
+			}}, nil
+		}),
+		core.AnalyzerFunc(func(now time.Duration, obs core.Observation) (core.Symptoms, error) {
+			return core.Symptoms{Findings: []core.Finding{{Kind: "high", Subject: "x", Confidence: 1}}}, nil
+		}),
+		core.PlannerFunc(func(now time.Duration, sym core.Symptoms) (core.Plan, error) {
+			return core.Plan{Actions: []core.Action{{Kind: "act", Subject: "x", Confidence: 1}}}, nil
+		}),
+		core.ExecutorFunc(func(now time.Duration, a core.Action) (core.ActionResult, error) {
+			acted++
+			return core.ActionResult{Action: a, Honored: true}, nil
+		}),
+	)
+	loop.K = kb
+	engine.At(time.Second, func() { loop.Tick(engine.Now()) })
+	engine.Run()
+	if acted != 1 {
+		t.Errorf("acted = %d", acted)
+	}
+}

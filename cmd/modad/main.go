@@ -1,0 +1,106 @@
+// Command modad is a small MODA telemetry daemon: it runs a simulated HPC
+// system in real time (wall clock, scaled), samples all sensor domains into
+// a TSDB, and serves the telemetry stream plus loop audit events over TCP as
+// newline-delimited JSON envelopes — the interoperability surface the
+// paper's question (ii) asks for. A client can connect with `nc` and watch
+// the same envelopes an autonomy loop consumes.
+//
+// Usage:
+//
+//	modad -addr 127.0.0.1:7675 -speed 60 -duration 2m
+//
+// speed compresses virtual time: 60 means one wall second carries one
+// virtual minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autoloop/internal/app"
+	"autoloop/internal/bus"
+	"autoloop/internal/cluster"
+	"autoloop/internal/facility"
+	"autoloop/internal/pfs"
+	"autoloop/internal/sched"
+	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7675", "TCP address to serve envelopes on")
+	speed := flag.Int("speed", 60, "virtual seconds per wall second")
+	duration := flag.Duration("duration", 2*time.Minute, "wall-clock run time (0 = forever)")
+	flag.Parse()
+
+	engine := sim.NewEngine(1)
+	db := tsdb.New(2 * time.Hour)
+	b := bus.New()
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 16
+	cl := cluster.New(engine, ccfg)
+	plant := facility.New(engine, facility.DefaultConfig(), cl)
+	fs := pfs.New(engine, pfs.Config{OSTs: 8, OSTBandwidthMBps: 300, DefaultStripeCount: 4})
+	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())
+	runtime := app.NewRuntime(engine, db, fs, cl)
+	runtime.OnComplete = func(inst *app.Instance) { scheduler.JobFinished(inst.Job.ID) }
+	scheduler.SetHooks(runtime.Start, runtime.Kill)
+
+	reg := telemetry.NewRegistry()
+	reg.Register(cl.Collector())
+	reg.Register(plant.Collector())
+	reg.Register(fs.Collector())
+	reg.Register(scheduler.Collector())
+
+	// Publish every gathered point on the bus and store it.
+	engine.Every(30*time.Second, 30*time.Second, func() bool {
+		now := engine.Now()
+		for _, p := range reg.Gather(now) {
+			_ = db.Append(p)
+			b.Publish(bus.Envelope{
+				Topic: "telemetry." + p.Name, Time: now, Source: "modad",
+				Payload: map[string]interface{}{"labels": p.Labels, "value": p.Value},
+			})
+		}
+		return true
+	})
+
+	// A rolling synthetic workload keeps the signals alive.
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("steady%02d", i)
+		runtime.RegisterSpec(name, app.Spec{
+			Name: name, TotalIters: 1 << 20,
+			IterTime: sim.LogNormal{MeanV: time.Minute, CV: 0.2},
+			IOEvery:  7, IOSizeMB: 256, StripeCount: 4,
+		})
+		if _, err := scheduler.Submit(name, "ops", 2, 1000*time.Hour, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "modad:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv, err := bus.NewServer(*addr, "telemetry.*", b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modad:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("modad: serving telemetry envelopes on %s (speed %dx)\n", srv.Addr(), *speed)
+
+	// Drive the simulation against the wall clock.
+	start := time.Now()
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for range tick.C {
+		wall := time.Since(start)
+		if *duration > 0 && wall >= *duration {
+			break
+		}
+		engine.RunUntil(time.Duration(int64(wall) * int64(*speed)))
+	}
+	fmt.Printf("modad: done; %d series, %d samples stored\n", db.NumSeries(), db.Appended())
+}

@@ -1,0 +1,79 @@
+// Command modaloop runs the paper-reproduction experiments and prints their
+// tables.
+//
+// Usage:
+//
+//	modaloop list                 # list experiment IDs and titles
+//	modaloop run EXP-F3           # run one experiment (full scale)
+//	modaloop run all              # run every experiment
+//	modaloop run EXP-F3 -quick    # shrunken scenario
+//	modaloop run EXP-F3 -csv      # CSV instead of a table
+//	modaloop run EXP-F3 -seed 42  # alternate deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autoloop/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-9s %s\n", id, title)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: modaloop list | modaloop run <EXP-ID|all> [-quick] [-csv] [-seed N]")
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink the scenario for a fast run")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+
+	emit := func(res *experiments.Result) {
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Table())
+		}
+	}
+	if id == "all" {
+		for _, res := range experiments.RunAll(opt) {
+			emit(res)
+		}
+		return
+	}
+	res, err := experiments.Run(id, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modaloop:", err)
+		os.Exit(1)
+	}
+	emit(res)
+}

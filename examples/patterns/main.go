@@ -1,0 +1,160 @@
+// Patterns: the four Fig. 2 MAPE-K design patterns side by side.
+//
+// Sixteen managed subsystems accumulate work; each pattern wires Monitor/
+// Analyze/Plan/Execute differently. Halfway through, the demo kills part of
+// each pattern's control plane and shows who keeps controlling what — the
+// paper's robustness argument for decentralized autonomy, live.
+//
+// Run: go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"autoloop/internal/core"
+	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
+)
+
+const n = 16
+
+// queueSystem is a managed subsystem: work arrives, control actions drain it.
+type queueSystem struct {
+	name    string
+	queue   float64
+	actions int
+}
+
+func (q *queueSystem) monitor() core.Monitor {
+	return core.MonitorFunc(func(now time.Duration) (core.Observation, error) {
+		return core.Observation{Time: now, Points: []telemetry.Point{{
+			Name: "queue", Labels: telemetry.Labels{"sub": q.name}, Time: now, Value: q.queue,
+		}}}, nil
+	})
+}
+
+func (q *queueSystem) executor() core.Executor {
+	return core.ExecutorFunc(func(now time.Duration, a core.Action) (core.ActionResult, error) {
+		drained := a.Amount
+		if drained > q.queue {
+			drained = q.queue
+		}
+		q.queue -= drained
+		q.actions++
+		return core.ActionResult{Action: a, Honored: true, Granted: drained}, nil
+	})
+}
+
+func analyzer() core.Analyzer {
+	return core.AnalyzerFunc(func(now time.Duration, obs core.Observation) (core.Symptoms, error) {
+		sym := core.Symptoms{Time: now}
+		for _, p := range obs.Points {
+			if p.Value > 5 {
+				sym.Findings = append(sym.Findings, core.Finding{
+					Kind: "backlog", Subject: p.Labels["sub"], Value: p.Value, Confidence: 1,
+				})
+			}
+		}
+		return sym, nil
+	})
+}
+
+func planner() core.Planner {
+	return core.PlannerFunc(func(now time.Duration, sym core.Symptoms) (core.Plan, error) {
+		plan := core.Plan{Time: now}
+		for _, f := range sym.Findings {
+			plan.Actions = append(plan.Actions, core.Action{Kind: "drain", Subject: f.Subject, Amount: f.Value, Confidence: 1})
+		}
+		return plan, nil
+	})
+}
+
+func makeSystems() ([]*queueSystem, []*core.Worker) {
+	subs := make([]*queueSystem, n)
+	workers := make([]*core.Worker, n)
+	for i := range subs {
+		subs[i] = &queueSystem{name: fmt.Sprintf("s%02d", i)}
+		workers[i] = core.NewWorker(subs[i].name, subs[i].monitor(), subs[i].executor())
+	}
+	return subs, workers
+}
+
+func run(name string, subs []*queueSystem, tick func(time.Duration), fail func(), failDesc string) {
+	engine := sim.NewEngine(1)
+	engine.At(60*time.Second, fail)
+	engine.Every(time.Second, time.Second, func() bool {
+		for _, s := range subs {
+			s.queue += 3
+		}
+		tick(engine.Now())
+		return engine.Now() < 120*time.Second
+	})
+	engine.Run()
+	controlled, worst := 0, 0.0
+	for _, s := range subs {
+		if s.queue < 10 {
+			controlled++
+		}
+		if s.queue > worst {
+			worst = s.queue
+		}
+	}
+	fmt.Printf("%-14s  failure: %-24s  subsystems still under control: %2d/%d  worst backlog: %4.0f\n",
+		name, failDesc, controlled, n, worst)
+}
+
+func main() {
+	fmt.Println("Fig. 2 design patterns under controller failure (injected at t=60s):")
+
+	// (a) classical: one loop per subsystem, no failures injected — reference.
+	{
+		subs, _ := makeSystems()
+		loops := make([]*core.Loop, n)
+		for i, s := range subs {
+			loops[i] = core.NewLoop(s.name, s.monitor(), analyzer(), planner(), s.executor())
+		}
+		run("classical", subs, func(now time.Duration) {
+			for _, l := range loops {
+				l.Tick(now)
+			}
+		}, func() {}, "none (reference)")
+	}
+
+	// (b) master-worker: central A+P; the master dies.
+	{
+		subs, workers := makeSystems()
+		mw := core.NewMasterWorker("mw", analyzer(), planner(), workers)
+		run("master-worker", subs, mw.Tick, func() { mw.SetEnabled(false) }, "master dies")
+	}
+
+	// (c) coordinated: full local loops; a quarter of them die.
+	{
+		subs, _ := makeSystems()
+		loops := make([]*core.Loop, n)
+		for i, s := range subs {
+			loops[i] = core.NewLoop(s.name, s.monitor(), analyzer(), planner(), s.executor())
+		}
+		coord := core.NewCoordinated("coord", loops)
+		run("coordinated", subs, coord.Tick, func() {
+			for i := 0; i < n/4; i++ {
+				loops[i].SetEnabled(false)
+			}
+		}, "4 of 16 loops die")
+	}
+
+	// (d) hierarchical: four group masters; one dies.
+	{
+		subs, workers := makeSystems()
+		var masters []*core.MasterWorker
+		for g := 0; g < 4; g++ {
+			masters = append(masters, core.NewMasterWorker(fmt.Sprintf("g%d", g),
+				analyzer(), planner(), workers[g*4:(g+1)*4]))
+		}
+		run("hierarchical", subs, func(now time.Duration) {
+			for _, m := range masters {
+				m.Tick(now)
+			}
+		}, func() { masters[0].SetEnabled(false) }, "1 of 4 group masters dies")
+	}
+}

@@ -1,0 +1,161 @@
+// Scheduler: the paper's Fig. 3 use case at fleet scale.
+//
+// A 32-node cluster runs a batch workload in which 40% of users
+// underestimate their walltime. The walltime-extension autonomy loop
+// monitors every job's progress markers, plans extensions through the
+// scheduler's trust policy, falls back to checkpoints when extensions run
+// out, and learns per-application corrections into the knowledge base.
+// The same workload is replayed without the loop for comparison.
+//
+// Run: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autoloop/internal/app"
+	"autoloop/internal/cases/schedcase"
+	"autoloop/internal/core"
+	"autoloop/internal/knowledge"
+	"autoloop/internal/sched"
+	"autoloop/internal/sim"
+	"autoloop/internal/tsdb"
+)
+
+const (
+	nodes = 32
+	jobs  = 80
+)
+
+type outcome struct {
+	completed, killed, resubmits int
+	wastedNodeH                  float64
+	extensions                   int
+	denied                       int
+}
+
+func main() {
+	without := replay(false)
+	with := replay(true)
+
+	fmt.Println("Fig. 3 Scheduler case, 80 jobs / 32 nodes, 40% of walltimes underestimated")
+	fmt.Printf("%-18s %12s %8s %10s %13s %11s %8s\n",
+		"mode", "completed", "killed", "resubmits", "wasted-nodeh", "extensions", "denied")
+	print := func(name string, o outcome) {
+		fmt.Printf("%-18s %9d/%d %8d %10d %13.1f %11d %8d\n",
+			name, o.completed, jobs, o.killed, o.resubmits, o.wastedNodeH, o.extensions, o.denied)
+	}
+	print("no-loop", without)
+	print("autonomy-loop", with)
+}
+
+func replay(withLoop bool) outcome {
+	engine := sim.NewEngine(99)
+	db := tsdb.New(0)
+	ids := make([]string, nodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%03d", i)
+	}
+	scheduler := sched.New(engine, ids,
+		sched.ExtensionPolicy{MaxPerJob: 3, MaxTotalPerJob: 6 * time.Hour, BackfillGuard: true})
+	runtime := app.NewRuntime(engine, db, nil, nil)
+	runtime.OnComplete = func(inst *app.Instance) { scheduler.JobFinished(inst.Job.ID) }
+	scheduler.SetHooks(runtime.Start, runtime.Kill)
+
+	kb := knowledge.NewBase()
+	var ctl *schedcase.Controller
+	done := false
+	if withLoop {
+		ctl = schedcase.New(schedcase.DefaultConfig(), db, scheduler, runtime, kb,
+			sim.VirtualClock{Engine: engine})
+		loop := ctl.Loop()
+		loop.Mode = core.Autonomous
+		loop.RunEvery(sim.VirtualClock{Engine: engine}, 5*time.Minute, func() bool { return done })
+	}
+
+	// Deterministic workload, identical across both replays.
+	rng := rand.New(rand.NewSource(4))
+	var at time.Duration
+	terminal := 0
+	var out outcome
+	resubmitted := map[string]int{}
+	for i := 0; i < jobs; i++ {
+		at += sim.Exponential{MeanV: 5 * time.Minute}.Sample(rng)
+		name := fmt.Sprintf("app%03d", i)
+		iters := 40 + rng.Intn(140)
+		iterMean := time.Duration(20+rng.Intn(60)) * time.Second
+		spec := app.Spec{
+			Name: name, TotalIters: iters,
+			IterTime:       sim.LogNormal{MeanV: iterMean, CV: 0.15},
+			CheckpointCost: time.Minute,
+		}
+		runtime.RegisterSpec(name, spec)
+		trueRuntime := time.Duration(iters) * iterMean
+		factor := 1.1 + rng.Float64()*0.9
+		if rng.Float64() < 0.4 {
+			factor = 0.55 + rng.Float64()*0.4
+		}
+		wall := time.Duration(float64(trueRuntime) * factor)
+		if wall < 10*time.Minute {
+			wall = 10 * time.Minute
+		}
+		nreq := 1 + rng.Intn(4)
+		engine.At(at, func() {
+			if _, err := scheduler.Submit(name, "u", nreq, wall, 0); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	handled := map[int]bool{}
+	walltimes := map[string]time.Duration{}
+	engine.Every(time.Minute, time.Minute, func() bool {
+		for _, j := range scheduler.Jobs() {
+			if handled[j.ID] {
+				continue
+			}
+			switch j.State {
+			case sched.JobCompleted:
+				handled[j.ID] = true
+				if ctl != nil {
+					ctl.NoteJobEnd(j)
+				}
+				out.completed++
+				terminal++
+			case sched.JobKilledWalltime:
+				handled[j.ID] = true
+				if ctl != nil {
+					ctl.NoteJobEnd(j)
+				}
+				out.killed++
+				if resubmitted[j.Name] < 2 {
+					resubmitted[j.Name]++
+					out.resubmits++
+					if walltimes[j.Name] == 0 {
+						walltimes[j.Name] = j.Walltime
+					}
+					walltimes[j.Name] = time.Duration(float64(walltimes[j.Name]) * 1.5)
+					if _, err := scheduler.Submit(j.Name, j.User, j.Nodes, walltimes[j.Name], j.ID); err != nil {
+						panic(err)
+					}
+				} else {
+					terminal++
+				}
+			}
+		}
+		if terminal >= jobs {
+			done = true
+			return false
+		}
+		return true
+	})
+
+	engine.Run()
+	st := scheduler.Stats()
+	out.wastedNodeH = st.NodeSecondsWasted / 3600
+	out.extensions = st.ExtensionsGranted + st.ExtensionsPartial
+	out.denied = st.ExtensionsDenied
+	return out
+}

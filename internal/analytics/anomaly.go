@@ -1,0 +1,243 @@
+package analytics
+
+import (
+	"math"
+	"sort"
+)
+
+// Detector is a streaming anomaly detector over a univariate series.
+type Detector interface {
+	// Step feeds one observation and reports whether it is anomalous.
+	Step(v float64) bool
+	// Reset clears all state.
+	Reset()
+}
+
+// ZScore flags observations more than Threshold standard deviations from the
+// mean of a sliding window. It needs MinN observations before it fires.
+type ZScore struct {
+	Window    int
+	Threshold float64
+	MinN      int
+
+	vals []float64
+}
+
+// NewZScore returns a z-score detector (window, threshold sigma, minimum
+// samples before alerting).
+func NewZScore(window int, threshold float64, minN int) *ZScore {
+	if window < 2 {
+		panic("analytics: z-score window must be >= 2")
+	}
+	if minN < 2 {
+		minN = 2
+	}
+	return &ZScore{Window: window, Threshold: threshold, MinN: minN}
+}
+
+// Step implements Detector: v is compared against the window *before* v is
+// added, so a level shift fires on its first sample.
+func (z *ZScore) Step(v float64) bool {
+	defer func() {
+		z.vals = append(z.vals, v)
+		if len(z.vals) > z.Window {
+			z.vals = z.vals[1:]
+		}
+	}()
+	if len(z.vals) < z.MinN {
+		return false
+	}
+	m := meanOf(z.vals)
+	s := stddevOf(z.vals, m)
+	if s == 0 {
+		return v != m
+	}
+	return math.Abs(v-m)/s > z.Threshold
+}
+
+// Reset implements Detector.
+func (z *ZScore) Reset() { z.vals = nil }
+
+// MAD flags observations whose distance from the window median exceeds
+// Threshold x MAD (median absolute deviation), the robust detector used for
+// fleet outliers (one slow OST among sixteen).
+type MAD struct {
+	Window    int
+	Threshold float64
+	MinN      int
+
+	vals []float64
+}
+
+// NewMAD returns a MAD detector.
+func NewMAD(window int, threshold float64, minN int) *MAD {
+	if window < 3 {
+		panic("analytics: MAD window must be >= 3")
+	}
+	if minN < 3 {
+		minN = 3
+	}
+	return &MAD{Window: window, Threshold: threshold, MinN: minN}
+}
+
+// Step implements Detector (comparison precedes insertion, as in ZScore).
+func (m *MAD) Step(v float64) bool {
+	defer func() {
+		m.vals = append(m.vals, v)
+		if len(m.vals) > m.Window {
+			m.vals = m.vals[1:]
+		}
+	}()
+	if len(m.vals) < m.MinN {
+		return false
+	}
+	med, mad := medianMAD(m.vals)
+	if mad == 0 {
+		return v != med
+	}
+	// 1.4826 scales MAD to the stddev of a normal distribution.
+	return math.Abs(v-med)/(1.4826*mad) > m.Threshold
+}
+
+// Reset implements Detector.
+func (m *MAD) Reset() { m.vals = nil }
+
+// MADOutliers returns the indices of fleet members whose value deviates from
+// the fleet median by more than threshold x scaled MAD — the cross-sectional
+// form used to pick out a degraded OST from its peers. direction < 0 flags
+// only low outliers, > 0 only high ones, 0 both.
+func MADOutliers(values []float64, threshold float64, direction int) []int {
+	if len(values) < 3 {
+		return nil
+	}
+	med, mad := medianMAD(values)
+	if mad == 0 {
+		// Degenerate fleet: anything different from the median is an outlier.
+		var out []int
+		for i, v := range values {
+			if v != med && ((direction < 0 && v < med) || (direction > 0 && v > med) || direction == 0) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	scale := 1.4826 * mad
+	var out []int
+	for i, v := range values {
+		dev := (v - med) / scale
+		switch {
+		case direction < 0 && dev < -threshold:
+			out = append(out, i)
+		case direction > 0 && dev > threshold:
+			out = append(out, i)
+		case direction == 0 && math.Abs(dev) > threshold:
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CUSUM detects small persistent shifts in the mean: it accumulates
+// deviations beyond a dead band K around a reference mean and fires when the
+// cumulative sum crosses H. Used for slow drifts that z-scores miss.
+type CUSUM struct {
+	K, H float64
+
+	ref    float64
+	n      int
+	warmup int
+	pos    float64
+	neg    float64
+}
+
+// NewCUSUM returns a CUSUM detector calibrating its reference mean over
+// warmup samples, with dead band k and decision threshold h (both in the
+// series' units).
+func NewCUSUM(warmup int, k, h float64) *CUSUM {
+	if warmup < 1 {
+		panic("analytics: CUSUM warmup must be >= 1")
+	}
+	return &CUSUM{K: k, H: h, warmup: warmup}
+}
+
+// Step implements Detector.
+func (c *CUSUM) Step(v float64) bool {
+	if c.n < c.warmup {
+		c.ref += (v - c.ref) / float64(c.n+1)
+		c.n++
+		return false
+	}
+	c.pos = math.Max(0, c.pos+v-c.ref-c.K)
+	c.neg = math.Max(0, c.neg+c.ref-v-c.K)
+	return c.pos > c.H || c.neg > c.H
+}
+
+// Reset implements Detector.
+func (c *CUSUM) Reset() { c.ref, c.n, c.pos, c.neg = 0, 0, 0, 0 }
+
+// Threshold is the trivial detector: fire when the value crosses a fixed
+// bound (above when High, below otherwise).
+type Threshold struct {
+	Bound float64
+	High  bool
+}
+
+// Step implements Detector.
+func (t *Threshold) Step(v float64) bool {
+	if t.High {
+		return v > t.Bound
+	}
+	return v < t.Bound
+}
+
+// Reset implements Detector.
+func (t *Threshold) Reset() {}
+
+func meanOf(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func stddevOf(vals []float64, mean float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		d := v - mean
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(vals)-1))
+}
+
+func medianMAD(vals []float64) (median, mad float64) {
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	median = quantileSorted(sorted, 0.5)
+	devs := make([]float64, len(vals))
+	for i, v := range vals {
+		devs[i] = math.Abs(v - median)
+	}
+	sort.Float64s(devs)
+	mad = quantileSorted(devs, 0.5)
+	return median, mad
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,100 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureDistanceIdentity(t *testing.T) {
+	s := Signature{"iter_ms": 100, "io_frac": 0.2, "util": 0.9}
+	if d := s.Distance(s); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestSignatureDistanceOrdering(t *testing.T) {
+	base := Signature{"iter_ms": 100, "util": 0.9}
+	near := Signature{"iter_ms": 105, "util": 0.88}
+	far := Signature{"iter_ms": 300, "util": 0.3}
+	if base.Distance(near) >= base.Distance(far) {
+		t.Errorf("near (%v) should be closer than far (%v)", base.Distance(near), base.Distance(far))
+	}
+}
+
+func TestSignatureDisjointIsInfinite(t *testing.T) {
+	a := Signature{"x": 1}
+	b := Signature{"y": 1}
+	if !math.IsInf(a.Distance(b), 1) {
+		t.Error("disjoint signatures should be infinitely distant")
+	}
+}
+
+func TestSignatureZeroDimensions(t *testing.T) {
+	a := Signature{"x": 0, "y": 1}
+	b := Signature{"x": 0, "y": 1}
+	if d := a.Distance(b); d != 0 {
+		t.Errorf("distance = %v, want 0 with zero-valued shared dims", d)
+	}
+}
+
+func TestSignatureSymmetryProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 float64) bool {
+		if anyBad(a1, a2, b1, b2) {
+			return true
+		}
+		a := Signature{"p": a1, "q": a2}
+		b := Signature{"p": b1, "q": b2}
+		return math.Abs(a.Distance(b)-b.Distance(a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	query := Signature{"iter_ms": 100}
+	candidates := []Signature{
+		{"iter_ms": 500}, // 0
+		{"iter_ms": 101}, // 1: nearest
+		{"iter_ms": 120}, // 2
+		{"iter_ms": 99},  // 3: second nearest
+	}
+	ns := NearestNeighbors(query, candidates, 2)
+	if len(ns) != 2 {
+		t.Fatalf("got %d neighbors", len(ns))
+	}
+	if ns[0].Index != 1 || ns[1].Index != 3 {
+		t.Errorf("neighbors = %+v", ns)
+	}
+}
+
+func TestNearestNeighborsKExceedsCandidates(t *testing.T) {
+	ns := NearestNeighbors(Signature{"x": 1}, []Signature{{"x": 2}}, 10)
+	if len(ns) != 1 {
+		t.Errorf("got %d, want 1", len(ns))
+	}
+	if got := NearestNeighbors(Signature{"x": 1}, nil, 3); len(got) != 0 {
+		t.Error("no candidates should yield no neighbors")
+	}
+}
+
+func TestNearestNeighborsDeterministicTies(t *testing.T) {
+	query := Signature{"x": 1}
+	candidates := []Signature{{"x": 2}, {"x": 2}, {"x": 2}}
+	ns := NearestNeighbors(query, candidates, 3)
+	for i, n := range ns {
+		if n.Index != i {
+			t.Errorf("tie order = %+v", ns)
+		}
+	}
+}

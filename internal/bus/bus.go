@@ -1,0 +1,162 @@
+// Package bus provides the topic-based publish/subscribe fabric that
+// decouples MAPE-K loop components from each other and from the substrates
+// they manage, plus a JSON wire codec and TCP transport so components can be
+// distributed across processes.
+//
+// The paper's question (ii) asks what interfaces would make loop components
+// interchangeable; the answer implemented here is: components never call each
+// other directly, they exchange envelopes on named topics ("telemetry.points",
+// "loop.<name>.plan", "sched.extension.result", ...). In-process delivery is
+// synchronous and deterministic under the simulator; the wire transport
+// carries the same envelopes across the network for cmd/modad.
+package bus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Envelope is the unit of exchange on the bus. Payload is JSON-marshalable;
+// in-process subscribers receive the original value, wire subscribers receive
+// the decoded JSON form.
+type Envelope struct {
+	Topic   string        `json:"topic"`
+	Time    time.Duration `json:"time"`
+	Source  string        `json:"source,omitempty"`
+	Payload interface{}   `json:"payload,omitempty"`
+}
+
+// Handler consumes envelopes published to a subscribed topic.
+type Handler func(Envelope)
+
+// subscription pairs a handler with its registration order for deterministic
+// dispatch.
+type subscription struct {
+	id      int
+	pattern string
+	h       Handler
+}
+
+// Bus is an in-process topic pub/sub hub. Delivery is synchronous: Publish
+// invokes every matching handler before returning, which keeps simulated
+// loops deterministic. Bus is safe for concurrent use.
+type Bus struct {
+	mu        sync.RWMutex
+	nextID    int
+	subs      []subscription
+	published uint64
+	delivered uint64
+}
+
+// New returns an empty bus.
+func New() *Bus { return &Bus{} }
+
+// Subscribe registers h for every envelope whose topic matches pattern.
+// A pattern either names a topic exactly or ends in ".*" / "*" to match a
+// prefix ("loop.*" matches "loop.sched.plan"). Subscribe returns an
+// unsubscribe function.
+func (b *Bus) Subscribe(pattern string, h Handler) (cancel func()) {
+	if h == nil {
+		panic("bus: Subscribe with nil handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	id := b.nextID
+	b.subs = append(b.subs, subscription{id: id, pattern: pattern, h: h})
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for i, s := range b.subs {
+			if s.id == id {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// matches reports whether topic matches pattern (exact, or prefix with a
+// trailing "*").
+func matches(pattern, topic string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(topic, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == topic
+}
+
+// Publish delivers env to all matching subscribers in subscription order.
+func (b *Bus) Publish(env Envelope) {
+	if env.Topic == "" {
+		panic("bus: Publish with empty topic")
+	}
+	b.mu.RLock()
+	matched := make([]Handler, 0, 4)
+	for _, s := range b.subs {
+		if matches(s.pattern, env.Topic) {
+			matched = append(matched, s.h)
+		}
+	}
+	b.mu.RUnlock()
+
+	b.mu.Lock()
+	b.published++
+	b.delivered += uint64(len(matched))
+	b.mu.Unlock()
+
+	for _, h := range matched {
+		h(env)
+	}
+}
+
+// Stats reports how many envelopes were published and delivered.
+func (b *Bus) Stats() (published, delivered uint64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.published, b.delivered
+}
+
+// Topics returns the sorted set of currently subscribed patterns, for
+// diagnostics.
+func (b *Bus) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	set := map[string]bool{}
+	for _, s := range b.subs {
+		set[s.pattern] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode marshals env to a single-line JSON wire form terminated by '\n'.
+func Encode(env Envelope) ([]byte, error) {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("bus: encode %s: %w", env.Topic, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode unmarshals one wire line produced by Encode.
+func Decode(line []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Envelope{}, fmt.Errorf("bus: decode: %w", err)
+	}
+	if env.Topic == "" {
+		return Envelope{}, fmt.Errorf("bus: decode: missing topic")
+	}
+	return env, nil
+}

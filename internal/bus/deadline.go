@@ -1,0 +1,8 @@
+package bus
+
+import "time"
+
+// writeTimeout bounds how long a broadcast may block on one client.
+const writeTimeout = 2 * time.Second
+
+func deadline() time.Time { return time.Now().Add(writeTimeout) }

@@ -1,0 +1,175 @@
+package bus
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server bridges a Bus onto a TCP listener: every envelope published on the
+// bus whose topic matches the server's export pattern is forwarded to all
+// connected clients, and every line received from a client is decoded and
+// republished locally. This is the minimal distribution fabric used by
+// cmd/modad; a production deployment would substitute its site transport
+// behind the same Envelope format.
+type Server struct {
+	ln      net.Listener
+	bus     *Bus
+	cancel  func()
+	mu      sync.Mutex
+	conns   map[net.Conn]bool
+	closed  bool
+	pattern string
+}
+
+// NewServer starts serving bus traffic on addr (e.g. "127.0.0.1:0").
+// Envelopes matching exportPattern are pushed to clients.
+func NewServer(addr, exportPattern string, b *Bus) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, bus: b, conns: make(map[net.Conn]bool), pattern: exportPattern}
+	s.cancel = b.Subscribe(exportPattern, s.broadcast)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and disconnects all clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, c := range conns {
+		c.Close()
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.readLoop(conn)
+	}
+}
+
+func (s *Server) readLoop(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		env, err := Decode(sc.Bytes())
+		if err != nil {
+			continue // tolerate malformed lines from clients
+		}
+		s.bus.Publish(env)
+	}
+}
+
+func (s *Server) broadcast(env Envelope) {
+	data, err := Encode(env)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		// Best-effort: a slow or dead client must not stall the loop.
+		_ = c.SetWriteDeadline(deadline())
+		if _, err := c.Write(data); err != nil {
+			c.Close()
+			delete(s.conns, c)
+		}
+	}
+}
+
+// Client connects a local Bus to a remote Server: lines received from the
+// server are republished locally, and locally published envelopes matching
+// exportPattern are sent to the server.
+type Client struct {
+	conn   net.Conn
+	bus    *Bus
+	cancel func()
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial connects to a Server at addr and bridges it with b.
+func Dial(addr, exportPattern string, b *Bus) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, bus: b}
+	c.cancel = b.Subscribe(exportPattern, c.send)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	return c.conn.Close()
+}
+
+func (c *Client) send(env Envelope) {
+	data, err := Encode(env)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	_ = c.conn.SetWriteDeadline(deadline())
+	_, _ = c.conn.Write(data)
+}
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		env, err := Decode(sc.Bytes())
+		if err != nil {
+			continue
+		}
+		c.bus.Publish(env)
+	}
+}

@@ -1,0 +1,306 @@
+// Package misconfcase implements the paper's Misconfiguration use case:
+// "detection of misconfiguration of user jobs such as unintended mismatch of
+// threads to cores, underutilization of CPUs or GPUs, or wrong library
+// search paths. Depending on the type of misconfiguration, users could
+// either be informed about their mistake along with suggestions for better
+// configurations, or the misconfiguration could be corrected on the fly."
+//
+// Detection is rule-plus-statistics over application and node telemetry:
+// a context-switch storm indicates thread oversubscription, a loader warning
+// indicates a wrong library path, and a bimodal utilization split across the
+// allocation indicates underutilization. The response policy decides per
+// type: threads and library issues are corrected on the fly; allocation
+// shape cannot be changed mid-run, so the user is notified with a concrete
+// suggestion.
+package misconfcase
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"autoloop/internal/app"
+	"autoloop/internal/cluster"
+	"autoloop/internal/core"
+	"autoloop/internal/sched"
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+// Config tunes detection.
+type Config struct {
+	// CtxSwitchStorm is the context-switch rate above which threads are
+	// considered oversubscribed.
+	CtxSwitchStorm float64
+	// IdleUtil is the utilization below which an allocated node counts as
+	// idle.
+	IdleUtil float64
+	// BusyUtil is the utilization above which a node counts as working.
+	BusyUtil float64
+	// Consecutive debounces each detector.
+	Consecutive int
+	// FixOnTheFly corrects thread/library issues instead of only notifying.
+	FixOnTheFly bool
+	// WarmupAfterStart ignores jobs younger than this (startup transients).
+	WarmupAfterStart time.Duration
+}
+
+// DefaultConfig returns production-shaped thresholds.
+func DefaultConfig() Config {
+	return Config{
+		CtxSwitchStorm:   20000,
+		IdleUtil:         0.05,
+		BusyUtil:         0.5,
+		Consecutive:      2,
+		FixOnTheFly:      true,
+		WarmupAfterStart: 2 * time.Minute,
+	}
+}
+
+// Detection records one confirmed misconfiguration finding (experiment
+// ground-truth comparison).
+type Detection struct {
+	JobID int
+	Kind  app.Misconfig
+	At    time.Duration
+}
+
+// Controller wires the misconfiguration MAPE loop.
+type Controller struct {
+	cfg  Config
+	db   *tsdb.DB
+	sch  *sched.Scheduler
+	apps *app.Runtime
+	cl   *cluster.Cluster
+
+	streaks map[int]map[app.Misconfig]int
+	flagged map[int]app.Misconfig
+
+	// Detections lists confirmed findings in order (experiment metric).
+	Detections []Detection
+	// Notifications counts user notifications sent.
+	Notifications int
+	// Fixes counts on-the-fly corrections applied.
+	Fixes int
+}
+
+// New builds the controller. cl may be nil when node telemetry is
+// unavailable (underutilization detection is then disabled).
+func New(cfg Config, db *tsdb.DB, sch *sched.Scheduler, apps *app.Runtime, cl *cluster.Cluster) *Controller {
+	if db == nil || sch == nil || apps == nil {
+		panic("misconfcase: nil dependency")
+	}
+	if cfg.Consecutive < 1 {
+		cfg.Consecutive = 1
+	}
+	return &Controller{
+		cfg: cfg, db: db, sch: sch, apps: apps, cl: cl,
+		streaks: make(map[int]map[app.Misconfig]int),
+		flagged: make(map[int]app.Misconfig),
+	}
+}
+
+// Flagged returns the confirmed misconfiguration for a job, if any.
+func (c *Controller) Flagged(jobID int) (app.Misconfig, bool) {
+	m, ok := c.flagged[jobID]
+	return m, ok
+}
+
+// Loop assembles the core loop.
+func (c *Controller) Loop() *core.Loop {
+	return core.NewLoop("misconfig-case",
+		core.MonitorFunc(c.observe),
+		core.AnalyzerFunc(c.analyze),
+		core.PlannerFunc(c.plan),
+		core.ExecutorFunc(c.execute),
+	)
+}
+
+// observe gathers per-job context-switch rates, loader warnings, and
+// per-node utilization of each allocation.
+func (c *Controller) observe(now time.Duration) (core.Observation, error) {
+	obs := core.Observation{Time: now}
+	for _, j := range c.sch.Running() {
+		if now-j.Start < c.cfg.WarmupAfterStart {
+			continue
+		}
+		label := telemetry.Labels{"job": strconv.Itoa(j.ID)}
+		if v, ok := c.db.LatestValue("app.ctx_switch_rate", label); ok {
+			obs.Points = append(obs.Points, telemetry.Point{Name: "app.ctx_switch_rate", Labels: label, Time: now, Value: v})
+		}
+		if v, ok := c.db.LatestValue("app.lib_warn", label); ok {
+			obs.Points = append(obs.Points, telemetry.Point{Name: "app.lib_warn", Labels: label, Time: now, Value: v})
+		}
+		if c.cl != nil {
+			for _, n := range j.AssignedNodes {
+				obs.Points = append(obs.Points, telemetry.Point{
+					Name:   "node.cpu.util",
+					Labels: telemetry.Labels{"job": strconv.Itoa(j.ID), "node": n},
+					Time:   now,
+					Value:  c.cl.Util(n),
+				})
+			}
+		}
+	}
+	return obs, nil
+}
+
+// jobObs aggregates one job's telemetry for a single analysis pass.
+type jobObs struct {
+	ctx     float64
+	hasCtx  bool
+	libWarn bool
+	utils   []float64
+}
+
+// analyze classifies misconfigurations per job with debouncing.
+func (c *Controller) analyze(now time.Duration, obs core.Observation) (core.Symptoms, error) {
+	sym := core.Symptoms{Time: now}
+	byJob := map[int]*jobObs{}
+	get := func(id int) *jobObs {
+		jo := byJob[id]
+		if jo == nil {
+			jo = &jobObs{}
+			byJob[id] = jo
+		}
+		return jo
+	}
+	for _, p := range obs.Points {
+		id, err := strconv.Atoi(p.Labels["job"])
+		if err != nil {
+			continue
+		}
+		switch p.Name {
+		case "app.ctx_switch_rate":
+			jo := get(id)
+			jo.ctx, jo.hasCtx = p.Value, true
+		case "app.lib_warn":
+			get(id).libWarn = p.Value > 0
+		case "node.cpu.util":
+			jo := get(id)
+			jo.utils = append(jo.utils, p.Value)
+		}
+	}
+	for _, j := range c.sch.Running() {
+		jo, ok := byJob[j.ID]
+		if !ok {
+			continue
+		}
+		if _, done := c.flagged[j.ID]; done {
+			continue
+		}
+		kind := c.classify(jo)
+		streaks := c.streaks[j.ID]
+		if streaks == nil {
+			streaks = make(map[app.Misconfig]int)
+			c.streaks[j.ID] = streaks
+		}
+		for _, m := range []app.Misconfig{app.MisconfigThreads, app.MisconfigWrongLib, app.MisconfigUnderutil} {
+			if m == kind {
+				streaks[m]++
+			} else {
+				streaks[m] = 0
+			}
+		}
+		if kind == app.MisconfigNone || streaks[kind] < c.cfg.Consecutive {
+			continue
+		}
+		c.flagged[j.ID] = kind
+		c.Detections = append(c.Detections, Detection{JobID: j.ID, Kind: kind, At: now})
+		sym.Findings = append(sym.Findings, core.Finding{
+			Kind:       "misconfig-" + kind.String(),
+			Subject:    strconv.Itoa(j.ID),
+			Value:      float64(kind),
+			Confidence: 0.85,
+			Detail:     c.explain(kind, jo),
+		})
+	}
+	return sym, nil
+}
+
+// classify applies the detection rules to one job's observation. Rule order
+// matters: an explicit loader warning is the most specific signal, a
+// context-switch storm next, and the utilization split last (it can be a
+// side effect of the other two).
+func (c *Controller) classify(jo *jobObs) app.Misconfig {
+	if jo.libWarn {
+		return app.MisconfigWrongLib
+	}
+	if jo.hasCtx && jo.ctx > c.cfg.CtxSwitchStorm {
+		return app.MisconfigThreads
+	}
+	if len(jo.utils) >= 2 {
+		idle, busy := 0, 0
+		for _, u := range jo.utils {
+			switch {
+			case u < c.cfg.IdleUtil:
+				idle++
+			case u > c.cfg.BusyUtil:
+				busy++
+			}
+		}
+		if idle > 0 && busy > 0 && idle+busy == len(jo.utils) {
+			return app.MisconfigUnderutil
+		}
+	}
+	return app.MisconfigNone
+}
+
+// explain renders a user-facing diagnosis.
+func (c *Controller) explain(kind app.Misconfig, jo *jobObs) string {
+	switch kind {
+	case app.MisconfigThreads:
+		return "context-switch storm indicates more threads than cores; suggest OMP_NUM_THREADS=cores"
+	case app.MisconfigWrongLib:
+		return "loader warning indicates an unoptimized library on LD_LIBRARY_PATH"
+	case app.MisconfigUnderutil:
+		return "half the allocated nodes are idle; suggest requesting fewer nodes"
+	}
+	return ""
+}
+
+// plan maps each finding to fix-on-the-fly or notify-user per policy.
+func (c *Controller) plan(now time.Duration, sym core.Symptoms) (core.Plan, error) {
+	plan := core.Plan{Time: now}
+	for _, f := range sym.Findings {
+		kind := app.Misconfig(int(f.Value))
+		fixable := kind == app.MisconfigThreads || kind == app.MisconfigWrongLib
+		if c.cfg.FixOnTheFly && fixable {
+			plan.Actions = append(plan.Actions, core.Action{
+				Kind: "fix-misconfig", Subject: f.Subject, Amount: f.Value,
+				Confidence: f.Confidence, Explanation: f.Detail,
+			})
+			continue
+		}
+		plan.Actions = append(plan.Actions, core.Action{
+			Kind: "notify-user", Subject: f.Subject, Amount: f.Value,
+			Confidence: f.Confidence, Explanation: f.Detail,
+		})
+	}
+	return plan, nil
+}
+
+// execute applies the fix or records the notification.
+func (c *Controller) execute(now time.Duration, a core.Action) (core.ActionResult, error) {
+	id, err := strconv.Atoi(a.Subject)
+	if err != nil {
+		return core.ActionResult{}, fmt.Errorf("misconfcase: bad subject %q", a.Subject)
+	}
+	switch a.Kind {
+	case "fix-misconfig":
+		inst, ok := c.apps.Instance(id)
+		if !ok {
+			return core.ActionResult{Action: a, Detail: "no instance"}, nil
+		}
+		if err := inst.FixMisconfig(); err != nil {
+			return core.ActionResult{Action: a, Detail: err.Error()}, nil
+		}
+		c.Fixes++
+		return core.ActionResult{Action: a, Honored: true, Detail: "corrected on the fly"}, nil
+	case "notify-user":
+		c.Notifications++
+		return core.ActionResult{Action: a, Honored: true, Detail: "user notified: " + a.Explanation}, nil
+	default:
+		return core.ActionResult{}, fmt.Errorf("misconfcase: unknown action %q", a.Kind)
+	}
+}

@@ -1,0 +1,201 @@
+// Package ostcase implements the paper's OST use case: "response by an
+// application, from continuous evaluation of storage back-end write
+// performance, to close files using a poorly performing OST ... The
+// application would then reopen them using different OSTs".
+//
+// The loop continuously compares per-OST write latency across the fleet; a
+// robust MAD outlier test (one slow OST among many healthy ones) yields a
+// degraded-OST finding, the plan selects every running application whose
+// file layout touches that OST, and the execute phase drives the
+// application-side close/reopen hook.
+package ostcase
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"autoloop/internal/analytics"
+	"autoloop/internal/app"
+	"autoloop/internal/core"
+	"autoloop/internal/sched"
+	"autoloop/internal/tsdb"
+)
+
+// Config tunes the OST loop.
+type Config struct {
+	// Threshold is the MAD multiple beyond which an OST is an outlier.
+	Threshold float64
+	// MinLatMS ignores idle OSTs (no meaningful latency signal).
+	MinLatMS float64
+	// Consecutive requires the outlier to persist this many ticks before
+	// responding (debounce against transient queueing).
+	Consecutive int
+}
+
+// DefaultConfig flags an OST after 2 consecutive observations beyond 4 MADs.
+func DefaultConfig() Config {
+	return Config{Threshold: 4, MinLatMS: 0.5, Consecutive: 2}
+}
+
+// Controller wires the OST MAPE loop.
+type Controller struct {
+	cfg  Config
+	db   *tsdb.DB
+	sch  *sched.Scheduler
+	apps *app.Runtime
+
+	streak map[int]int // consecutive outlier observations per OST
+	// avoided remembers OSTs already being avoided.
+	avoided map[int]bool
+
+	// Responses counts reopen actions taken (experiment metric).
+	Responses int
+}
+
+// New builds the controller.
+func New(cfg Config, db *tsdb.DB, sch *sched.Scheduler, apps *app.Runtime) *Controller {
+	if db == nil || sch == nil || apps == nil {
+		panic("ostcase: nil dependency")
+	}
+	if cfg.Consecutive < 1 {
+		cfg.Consecutive = 1
+	}
+	return &Controller{
+		cfg: cfg, db: db, sch: sch, apps: apps,
+		streak: make(map[int]int), avoided: make(map[int]bool),
+	}
+}
+
+// Avoided returns the set of OSTs currently avoided.
+func (c *Controller) Avoided() []int {
+	var out []int
+	for id, on := range c.avoided {
+		if on {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Loop assembles the core loop.
+func (c *Controller) Loop() *core.Loop {
+	return core.NewLoop("ost-case",
+		core.MonitorFunc(c.observe),
+		core.AnalyzerFunc(c.analyze),
+		core.PlannerFunc(c.plan),
+		core.ExecutorFunc(c.execute),
+	)
+}
+
+// observe reads the latest per-OST write latency.
+func (c *Controller) observe(now time.Duration) (core.Observation, error) {
+	obs := core.Observation{Time: now}
+	obs.Points = append(obs.Points, c.db.Latest("pfs.ost.lat_ms", nil)...)
+	return obs, nil
+}
+
+// analyze runs the fleet outlier test on busy OSTs.
+func (c *Controller) analyze(now time.Duration, obs core.Observation) (core.Symptoms, error) {
+	sym := core.Symptoms{Time: now}
+	var ids []int
+	var lats []float64
+	for _, p := range obs.Points {
+		if p.Name != "pfs.ost.lat_ms" || p.Value < c.cfg.MinLatMS {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(p.Labels["ost"], "ost"))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+		lats = append(lats, p.Value)
+	}
+	outliers := map[int]bool{}
+	for _, idx := range analytics.MADOutliers(lats, c.cfg.Threshold, 1) {
+		outliers[ids[idx]] = true
+	}
+	for _, id := range ids {
+		if outliers[id] {
+			c.streak[id]++
+		} else {
+			c.streak[id] = 0
+		}
+	}
+	for i, id := range ids {
+		if c.streak[id] >= c.cfg.Consecutive && !c.avoided[id] {
+			sym.Findings = append(sym.Findings, core.Finding{
+				Kind:       "ost-degraded",
+				Subject:    fmt.Sprintf("ost%02d", id),
+				Value:      lats[i],
+				Confidence: 0.9,
+				Detail: fmt.Sprintf("write latency %.1fms is a %d-tick high outlier across %d busy OSTs",
+					lats[i], c.streak[id], len(ids)),
+			})
+		}
+	}
+	return sym, nil
+}
+
+// plan targets every running application whose file layout includes the
+// degraded OST.
+func (c *Controller) plan(now time.Duration, sym core.Symptoms) (core.Plan, error) {
+	plan := core.Plan{Time: now}
+	for _, f := range sym.Findings {
+		if f.Kind != "ost-degraded" {
+			continue
+		}
+		ostID, err := strconv.Atoi(strings.TrimPrefix(f.Subject, "ost"))
+		if err != nil {
+			continue
+		}
+		for _, j := range c.sch.Running() {
+			inst, ok := c.apps.Instance(j.ID)
+			if !ok || inst.File() == nil {
+				continue
+			}
+			uses := false
+			for _, o := range inst.File().OSTs() {
+				if o == ostID {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			plan.Actions = append(plan.Actions, core.Action{
+				Kind:        "reopen-avoiding",
+				Subject:     strconv.Itoa(j.ID),
+				Amount:      float64(ostID),
+				Confidence:  f.Confidence,
+				Explanation: fmt.Sprintf("job %d stripes over degraded %s: %s", j.ID, f.Subject, f.Detail),
+			})
+		}
+		// Mark the OST handled even when no job currently stripes over it,
+		// so new layouts steer clear via the planner's avoided set.
+		c.avoided[ostID] = true
+	}
+	return plan, nil
+}
+
+// execute drives the application's close/reopen hook.
+func (c *Controller) execute(now time.Duration, a core.Action) (core.ActionResult, error) {
+	if a.Kind != "reopen-avoiding" {
+		return core.ActionResult{}, fmt.Errorf("ostcase: unknown action %q", a.Kind)
+	}
+	id, err := strconv.Atoi(a.Subject)
+	if err != nil {
+		return core.ActionResult{}, fmt.Errorf("ostcase: bad subject %q", a.Subject)
+	}
+	inst, ok := c.apps.Instance(id)
+	if !ok {
+		return core.ActionResult{Action: a, Detail: "no instance"}, nil
+	}
+	if err := inst.ReopenAvoiding(int(a.Amount)); err != nil {
+		return core.ActionResult{Action: a, Detail: err.Error()}, nil
+	}
+	c.Responses++
+	return core.ActionResult{Action: a, Honored: true, Granted: a.Amount, Detail: "file reopened on healthy OSTs"}, nil
+}

@@ -1,0 +1,142 @@
+package powercase
+
+import (
+	"testing"
+	"time"
+
+	"autoloop/internal/cluster"
+	"autoloop/internal/core"
+	"autoloop/internal/facility"
+	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+type rig struct {
+	e     *sim.Engine
+	db    *tsdb.DB
+	cl    *cluster.Cluster
+	plant *facility.Plant
+	ctl   *Controller
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	db := tsdb.New(0)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 8
+	ccfg.SensorNoise = 0
+	cl := cluster.New(e, ccfg)
+	plant := facility.New(e, facility.DefaultConfig(), cl)
+	plant.BindAmbient(cl) // setpoint changes feed back into node temps
+	reg := telemetry.NewRegistry()
+	reg.Register(cl.Collector())
+	reg.Register(plant.Collector())
+	e.Every(30*time.Second, 30*time.Second, func() bool {
+		_ = db.AppendAll(reg.Gather(e.Now()))
+		return e.Now() < 12*time.Hour
+	})
+	return &rig{e: e, db: db, cl: cl, plant: plant, ctl: New(DefaultConfig(), db, plant)}
+}
+
+func TestRaisesSetpointWithHeadroom(t *testing.T) {
+	r := newRig(t)
+	// Idle cluster: nodes sit near ambient, enormous headroom.
+	start := r.plant.SupplySetpointC()
+	r.ctl.Loop().RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, func() bool { return r.e.Now() > 6*time.Hour })
+	r.e.RunUntil(6 * time.Hour)
+	if got := r.plant.SupplySetpointC(); got <= start {
+		t.Errorf("setpoint = %v, want raised above %v", got, start)
+	}
+	if got := r.plant.SupplySetpointC(); got > r.ctl.cfg.MaxSetpointC {
+		t.Errorf("setpoint %v exceeded ceiling %v", got, r.ctl.cfg.MaxSetpointC)
+	}
+	if r.ctl.Raises == 0 || r.ctl.Lowers != 0 {
+		t.Errorf("raises=%d lowers=%d", r.ctl.Raises, r.ctl.Lowers)
+	}
+}
+
+func TestStopsAtCeiling(t *testing.T) {
+	r := newRig(t)
+	r.ctl.Loop().RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, func() bool { return r.e.Now() > 10*time.Hour })
+	r.e.RunUntil(10 * time.Hour)
+	if got := r.plant.SupplySetpointC(); got != r.ctl.cfg.MaxSetpointC {
+		t.Errorf("setpoint = %v, want pinned at ceiling %v", got, r.ctl.cfg.MaxSetpointC)
+	}
+	raises := r.ctl.Raises
+	r.e.RunUntil(11 * time.Hour)
+	if r.ctl.Raises != raises {
+		t.Error("kept raising past the ceiling")
+	}
+}
+
+func TestLowersUnderThermalPressure(t *testing.T) {
+	r := newRig(t)
+	// Saturate the fleet and break one node's cooling so it runs hot.
+	for _, n := range r.cl.UpNodes() {
+		r.cl.SetUtil(n, 1.0)
+	}
+	_ = r.cl.SetThermalFault("n000", 8)
+	r.ctl.Loop().RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, func() bool { return r.e.Now() > 4*time.Hour })
+	r.e.RunUntil(4 * time.Hour)
+	if r.ctl.Lowers == 0 {
+		t.Error("never lowered despite a node near the limit")
+	}
+	if got := r.plant.SupplySetpointC(); got >= facility.DefaultConfig().SupplySetC {
+		t.Errorf("setpoint = %v, want pushed below initial under pressure", got)
+	}
+}
+
+func TestConfidenceGateBlocksMarginalRaises(t *testing.T) {
+	run := func(gate float64) int {
+		r := newRig(t)
+		// Load the fleet moderately: hottest node sits just beyond required
+		// headroom, so raise confidence is marginal.
+		for _, n := range r.cl.UpNodes() {
+			r.cl.SetUtil(n, 0.95)
+		}
+		loop := r.ctl.Loop()
+		if gate > 0 {
+			loop.Guards = []core.Guardrail{core.ConfidenceGate{Min: gate}}
+		}
+		loop.RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, func() bool { return r.e.Now() > 4*time.Hour })
+		r.e.RunUntil(4 * time.Hour)
+		return r.ctl.Raises
+	}
+	ungated := run(0)
+	gated := run(0.95)
+	if gated >= ungated {
+		t.Errorf("gate should reduce marginal raises: %d -> %d", ungated, gated)
+	}
+}
+
+func TestRaisingSetpointSavesCoolingEnergy(t *testing.T) {
+	r := newRig(t)
+	for _, n := range r.cl.UpNodes() {
+		r.cl.SetUtil(n, 0.5)
+	}
+	before := r.plant.CoolingPowerW(r.e.Now())
+	r.ctl.Loop().RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, func() bool { return r.e.Now() > 6*time.Hour })
+	r.e.RunUntil(6 * time.Hour)
+	after := r.plant.CoolingPowerW(r.e.Now())
+	if after >= before {
+		t.Errorf("cooling power should drop: %.0fW -> %.0fW", before, after)
+	}
+}
+
+func TestExecuteUnknownAction(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.ctl.execute(0, core.Action{Kind: "bogus"}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestNilDependencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(DefaultConfig(), nil, nil)
+}

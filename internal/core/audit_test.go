@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAuditAppendAndFilter(t *testing.T) {
+	l := NewAuditLog(100)
+	l.Appendf(time.Second, "sched", "plan", "extend %d", 42)
+	l.Appendf(2*time.Second, "sched", "execute", "done")
+	l.Appendf(3*time.Second, "ost", "plan", "avoid ost03")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := len(l.Filter("sched", "")); got != 2 {
+		t.Errorf("Filter(sched) = %d", got)
+	}
+	if got := len(l.Filter("", "plan")); got != 2 {
+		t.Errorf("Filter(plan) = %d", got)
+	}
+	if got := len(l.Filter("ost", "plan")); got != 1 {
+		t.Errorf("Filter(ost,plan) = %d", got)
+	}
+}
+
+func TestAuditEviction(t *testing.T) {
+	l := NewAuditLog(3)
+	for i := 0; i < 10; i++ {
+		l.Appendf(time.Duration(i), "l", "p", "entry %d", i)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", l.Dropped())
+	}
+	entries := l.Entries()
+	if !strings.Contains(entries[0].Msg, "entry 7") {
+		t.Errorf("oldest retained = %q, want entry 7", entries[0].Msg)
+	}
+}
+
+func TestAuditDefaultCapacity(t *testing.T) {
+	l := NewAuditLog(0)
+	if l.cap != 4096 {
+		t.Errorf("default cap = %d", l.cap)
+	}
+}
+
+func TestAuditDump(t *testing.T) {
+	l := NewAuditLog(10)
+	l.Appendf(time.Second, "loop", "phase", "message")
+	dump := l.Dump()
+	if !strings.Contains(dump, "loop/phase: message") {
+		t.Errorf("Dump = %q", dump)
+	}
+}
+
+func TestAuditEntryString(t *testing.T) {
+	e := AuditEntry{Time: time.Second, Loop: "l", Phase: "p", Msg: "m"}
+	if got := e.String(); got != "[1s] l/p: m" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autoloop/internal/knowledge"
+	"autoloop/internal/sim"
+)
+
+// Mode selects how much autonomy a loop has over its Execute phase.
+type Mode int
+
+// Operating modes (§IV): fully autonomous execution; human-on-the-loop
+// (execute immediately, notify the human with an explanation); and
+// human-in-the-loop (wait for human approval before executing — the
+// status-quo the paper argues "limits the speed of response").
+const (
+	Autonomous Mode = iota
+	HumanOnTheLoop
+	HumanInTheLoop
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Autonomous:
+		return "autonomous"
+	case HumanOnTheLoop:
+		return "human-on-the-loop"
+	case HumanInTheLoop:
+		return "human-in-the-loop"
+	}
+	return "unknown"
+}
+
+// HumanModel models the human approver for human-in-the-loop mode: a
+// response-latency distribution and an availability probability. An absent
+// human (with probability 1-Availability) never answers, and the action is
+// dropped — unless the loop has a contingency (§IV: "execution of
+// contingency plans for when the humans are absent").
+type HumanModel struct {
+	Latency      sim.Dist
+	Availability float64
+	// ContingencyAfter, when positive, executes the action anyway once the
+	// human has been silent this long.
+	ContingencyAfter time.Duration
+}
+
+// DefaultHumanModel reflects a paged operator: 15 minutes median response,
+// available 80% of the time.
+func DefaultHumanModel() HumanModel {
+	return HumanModel{
+		Latency:      sim.LogNormal{MeanV: 15 * time.Minute, CV: 0.8},
+		Availability: 0.8,
+	}
+}
+
+// Metrics counts loop activity.
+type Metrics struct {
+	Ticks           int
+	Findings        int
+	PlannedActions  int
+	ExecutedActions int
+	HonoredActions  int
+	VetoedActions   int
+	DeferredActions int // human-in-the-loop: waiting for approval
+	DroppedActions  int // human absent, no contingency
+	Errors          int
+
+	// DecisionLatency accumulates time from symptom to execution (nonzero
+	// only for deferred human-in-the-loop executions and pattern plan
+	// costs); divide by ExecutedActions for the mean.
+	DecisionLatency time.Duration
+}
+
+// Loop is one MAPE-K autonomy loop. Zero value is not usable; construct with
+// NewLoop and set phases before Tick.
+type Loop struct {
+	Name string
+
+	M      Monitor
+	A      Analyzer
+	P      Planner
+	E      Executor
+	Assess Assessor // optional
+
+	// K is the shared knowledge base (optional but recommended).
+	K *knowledge.Base
+
+	// Guards veto actions in order; first error wins.
+	Guards []Guardrail
+
+	Mode  Mode
+	Human HumanModel
+
+	// Notifier receives on-the-loop notifications (optional).
+	Notifier Notifier
+	// Audit receives the decision trail (optional).
+	Audit *AuditLog
+
+	// Clock schedules deferred executions (required for HumanInTheLoop).
+	Clock sim.Clock
+	// Rng drives the human model (required for HumanInTheLoop).
+	Rng *rand.Rand
+
+	enabled bool
+	metrics Metrics
+}
+
+// NewLoop constructs a named loop with the given phases.
+func NewLoop(name string, m Monitor, a Analyzer, p Planner, e Executor) *Loop {
+	if m == nil || a == nil || p == nil || e == nil {
+		panic("core: NewLoop requires all four MAPE phases")
+	}
+	return &Loop{Name: name, M: m, A: a, P: p, E: e, enabled: true}
+}
+
+// Enabled reports whether the loop is active.
+func (l *Loop) Enabled() bool { return l.enabled }
+
+// SetEnabled enables or disables the loop (failure injection for the
+// robustness experiments; a disabled loop's Tick is a no-op).
+func (l *Loop) SetEnabled(on bool) { l.enabled = on }
+
+// Metrics returns a snapshot of the loop's counters.
+func (l *Loop) Metrics() Metrics { return l.metrics }
+
+// audit appends to the audit log when one is attached.
+func (l *Loop) audit(now time.Duration, phase, format string, args ...interface{}) {
+	if l.Audit != nil {
+		l.Audit.Appendf(now, l.Name, phase, format, args...)
+	}
+}
+
+// Tick runs one complete MAPE pass at virtual time now. Errors from phases
+// are audited and counted but do not abort the loop: an autonomy loop must
+// survive bad data.
+func (l *Loop) Tick(now time.Duration) {
+	if !l.enabled {
+		return
+	}
+	l.metrics.Ticks++
+	obs, err := l.M.Observe(now)
+	if err != nil {
+		l.metrics.Errors++
+		l.audit(now, "error", "monitor: %v", err)
+		return
+	}
+	sym, err := l.A.Analyze(now, obs)
+	if err != nil {
+		l.metrics.Errors++
+		l.audit(now, "error", "analyze: %v", err)
+		return
+	}
+	l.metrics.Findings += len(sym.Findings)
+	for _, f := range sym.Findings {
+		l.audit(now, "analyze", "%s(%s)=%.4g conf=%.2f: %s", f.Kind, f.Subject, f.Value, f.Confidence, f.Detail)
+	}
+	plan, err := l.P.Plan(now, sym)
+	if err != nil {
+		l.metrics.Errors++
+		l.audit(now, "error", "plan: %v", err)
+		return
+	}
+	l.metrics.PlannedActions += len(plan.Actions)
+	outcome := Outcome{Time: now}
+	for _, action := range plan.Actions {
+		l.audit(now, "plan", "%s(%s) amount=%.4g conf=%.2f: %s",
+			action.Kind, action.Subject, action.Amount, action.Confidence, action.Explanation)
+		if res, executed := l.dispatch(now, action); executed {
+			outcome.Results = append(outcome.Results, res)
+		}
+	}
+	if l.Assess != nil {
+		l.Assess.Assess(now, plan, outcome)
+	}
+}
+
+// dispatch applies guardrails and the operating mode to one action,
+// returning the result if the action executed synchronously.
+func (l *Loop) dispatch(now time.Duration, action Action) (ActionResult, bool) {
+	for _, g := range l.Guards {
+		if err := g.Check(now, l.Name, action); err != nil {
+			l.metrics.VetoedActions++
+			l.audit(now, "veto", "%s(%s): %v", action.Kind, action.Subject, err)
+			return ActionResult{}, false
+		}
+	}
+	switch l.Mode {
+	case Autonomous:
+		return l.execute(now, now, action), true
+	case HumanOnTheLoop:
+		res := l.execute(now, now, action)
+		if l.Notifier != nil {
+			l.Notifier.Notify(now, l.Name, action, &res)
+		}
+		return res, true
+	case HumanInTheLoop:
+		l.deferToHuman(now, action)
+		return ActionResult{}, false
+	}
+	return ActionResult{}, false
+}
+
+// execute runs the action against the managed system. decidedAt is when the
+// plan chose the action, for decision-latency accounting.
+func (l *Loop) execute(decidedAt, now time.Duration, action Action) ActionResult {
+	res, err := l.E.Execute(now, action)
+	if err != nil {
+		l.metrics.Errors++
+		l.audit(now, "error", "execute %s(%s): %v", action.Kind, action.Subject, err)
+		return ActionResult{Action: action, Detail: err.Error()}
+	}
+	l.metrics.ExecutedActions++
+	l.metrics.DecisionLatency += now - decidedAt
+	if res.Honored {
+		l.metrics.HonoredActions++
+	}
+	l.audit(now, "execute", "%s(%s) honored=%v granted=%.4g %s",
+		action.Kind, action.Subject, res.Honored, res.Granted, res.Detail)
+	return res
+}
+
+// deferToHuman routes the action through the human approver model.
+func (l *Loop) deferToHuman(now time.Duration, action Action) {
+	if l.Clock == nil || l.Rng == nil {
+		// Without a clock there is no way to wait: treat the human as absent.
+		l.metrics.DroppedActions++
+		l.audit(now, "drop", "%s(%s): no clock for human approval", action.Kind, action.Subject)
+		return
+	}
+	l.metrics.DeferredActions++
+	available := l.Rng.Float64() < l.Human.Availability
+	if !available {
+		if l.Human.ContingencyAfter > 0 {
+			l.audit(now, "defer", "%s(%s): human absent, contingency in %v",
+				action.Kind, action.Subject, l.Human.ContingencyAfter)
+			l.Clock.AfterFunc(l.Human.ContingencyAfter, func() {
+				if l.enabled {
+					l.execute(now, l.Clock.Now(), action)
+				}
+			})
+			return
+		}
+		l.metrics.DroppedActions++
+		l.audit(now, "drop", "%s(%s): human absent, no contingency", action.Kind, action.Subject)
+		return
+	}
+	delay := l.Human.Latency.Sample(l.Rng)
+	l.audit(now, "defer", "%s(%s): awaiting approval, eta %v", action.Kind, action.Subject, delay)
+	l.Clock.AfterFunc(delay, func() {
+		if l.enabled {
+			l.execute(now, l.Clock.Now(), action)
+		}
+	})
+}
+
+// RunEvery schedules the loop to tick on clock every period until stop
+// returns true (stop may be nil for "run forever").
+func (l *Loop) RunEvery(clock sim.Clock, period time.Duration, stop func() bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: loop %s needs a positive period", l.Name))
+	}
+	var tick func()
+	tick = func() {
+		if stop != nil && stop() {
+			return
+		}
+		l.Tick(clock.Now())
+		clock.AfterFunc(period, tick)
+	}
+	clock.AfterFunc(period, tick)
+}

@@ -1,0 +1,193 @@
+// Package experiments contains one runnable experiment per figure and per
+// qualitative claim of the paper, as indexed in DESIGN.md §3. Each runner
+// assembles the simulated substrates and autonomy loops, executes a
+// deterministic scenario, and returns a Result whose table is the
+// reproduction artifact recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output: a labeled table plus free-form notes.
+type Result struct {
+	ID    string
+	Title string
+	// Claim quotes or paraphrases what the paper asserts; the table is the
+	// measured counterpart.
+	Claim   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (r *Result) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// AddNote appends a formatted note.
+func (r *Result) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	if r.Claim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Claim)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	writeCSV := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeCSV(r.Columns)
+	for _, row := range r.Rows {
+		writeCSV(row)
+	}
+	return b.String()
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Quick shrinks the scenario for benchmarks and smoke tests.
+	Quick bool
+}
+
+// Runner executes one experiment.
+type Runner func(opt Options) *Result
+
+// registry maps experiment IDs to runners, populated by init() in each
+// experiment file.
+var registry = map[string]entry{}
+
+type entry struct {
+	runner Runner
+	title  string
+}
+
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = entry{runner: r, title: title}
+}
+
+// IDs returns all registered experiment IDs in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's one-line description.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run executes the experiment with the given options.
+func Run(id string, opt Options) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	return e.runner(opt), nil
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(opt Options) []*Result {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := Run(id, opt)
+		if err == nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// pct formats a ratio as a percentage string.
+func pct(num, den float64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
+}

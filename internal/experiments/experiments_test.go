@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options { return Options{Seed: 1, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"EXP-A1", "EXP-A2", "EXP-A3", "EXP-A4",
+		"EXP-F1", "EXP-F2a", "EXP-F2b", "EXP-F2c", "EXP-F3", "EXP-F3b",
+		"EXP-U1", "EXP-U2", "EXP-U3", "EXP-U4", "EXP-X1",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		if _, ok := Title(id); !ok {
+			t.Errorf("missing title for %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("EXP-NOPE", quickOpt()); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{ID: "X", Title: "T", Claim: "C", Columns: []string{"a", "bb"}}
+	r.AddRow("1", 2.5)
+	r.AddRow("longer", "x,y")
+	r.AddNote("n=%d", 3)
+	table := r.Table()
+	for _, want := range []string{"X — T", "paper: C", "longer", "2.5", "note: n=3"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := r.CSV()
+	if !strings.Contains(csv, "a,bb\n") || !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestSchedWorkloadDeterministic(t *testing.T) {
+	sc := defaultScenario(quickOpt())
+	a := generateJobs(sc)
+	b := generateJobs(sc)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].walltime != b[i].walltime || a[i].submitAt != b[i].submitAt {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+}
+
+// TestF3ShapeHolds verifies the headline reproduction property: the loop
+// beats the no-loop baseline on completions and resubmissions, and
+// approaches the oracle.
+func TestF3ShapeHolds(t *testing.T) {
+	base := defaultScenario(quickOpt())
+	noLoop := runSchedScenario(base)
+
+	withLoop := defaultScenario(quickOpt())
+	withLoop.LoopEnabled = true
+	loop := runSchedScenario(withLoop)
+
+	oracle := defaultScenario(quickOpt())
+	oracle.Oracle = true
+	orc := runSchedScenario(oracle)
+
+	if loop.CompletedFirst <= noLoop.CompletedFirst {
+		t.Errorf("loop completed-first %d should beat no-loop %d", loop.CompletedFirst, noLoop.CompletedFirst)
+	}
+	if loop.Resubmits >= noLoop.Resubmits {
+		t.Errorf("loop resubmits %d should be below no-loop %d", loop.Resubmits, noLoop.Resubmits)
+	}
+	if loop.WastedNodeH >= noLoop.WastedNodeH {
+		t.Errorf("loop wasted %.1f should be below no-loop %.1f", loop.WastedNodeH, noLoop.WastedNodeH)
+	}
+	if float64(loop.CompletedFirst) < 0.85*float64(orc.CompletedFirst) {
+		t.Errorf("loop completed-first %d should approach oracle %d", loop.CompletedFirst, orc.CompletedFirst)
+	}
+}
+
+// TestF2ShapesHold spot-checks the pattern claims without re-rendering the
+// full tables.
+func TestF2ShapesHold(t *testing.T) {
+	res, err := Run("EXP-F2c", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Master-worker must lose all coverage; coordinated must retain 75%.
+	var mwAfter, coordAfter string
+	for _, row := range res.Rows {
+		switch {
+		case row[0] == "master-worker":
+			mwAfter = row[3]
+		case row[0] == "coordinated":
+			coordAfter = row[3]
+		}
+	}
+	if mwAfter != "0.0%" {
+		t.Errorf("master-worker coverage-after = %s, want 0.0%%", mwAfter)
+	}
+	if coordAfter != "75.0%" {
+		t.Errorf("coordinated coverage-after = %s, want 75.0%%", coordAfter)
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in quick
+// mode: no panics, non-empty tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if res.Claim == "" {
+				t.Error("missing paper claim")
+			}
+			if len(res.Columns) == 0 {
+				t.Error("missing columns")
+			}
+		})
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(1, 2) != "50.0%" {
+		t.Errorf("pct = %s", pct(1, 2))
+	}
+	if pct(1, 0) != "n/a" {
+		t.Errorf("pct div0 = %s", pct(1, 0))
+	}
+}
+
+func TestOscillationIndex(t *testing.T) {
+	if got := oscillationIndex([]float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant oscillation = %v", got)
+	}
+	if got := oscillationIndex([]float64{0, 10, 0, 10}); got < 0.5 {
+		t.Errorf("square-wave oscillation = %v, want large", got)
+	}
+	if got := oscillationIndex([]float64{1}); got != 0 {
+		t.Errorf("single sample = %v", got)
+	}
+}

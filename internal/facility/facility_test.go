@@ -1,0 +1,113 @@
+package facility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"autoloop/internal/sim"
+)
+
+type fixedLoad float64
+
+func (f fixedLoad) TotalPowerW() float64 { return float64(f) }
+
+func newPlant(loadW float64) (*sim.Engine, *Plant) {
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.SensorNoise = 0
+	return e, New(e, cfg, fixedLoad(loadW))
+}
+
+func TestNilLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(sim.NewEngine(1), DefaultConfig(), nil)
+}
+
+func TestOutsideTemperatureCycle(t *testing.T) {
+	_, p := newPlant(10000)
+	min := p.OutsideC(4 * time.Hour)
+	max := p.OutsideC(16 * time.Hour)
+	if math.Abs(min-(15-8)) > 0.01 {
+		t.Errorf("4am temp = %.2f, want 7", min)
+	}
+	if math.Abs(max-(15+8)) > 0.01 {
+		t.Errorf("4pm temp = %.2f, want 23", max)
+	}
+	// Periodicity: same phase next day.
+	if d := p.OutsideC(4*time.Hour) - p.OutsideC(28*time.Hour); math.Abs(d) > 0.01 {
+		t.Errorf("daily cycle not periodic: delta %.3f", d)
+	}
+}
+
+func TestCOPRespondsToSetpointAndWeather(t *testing.T) {
+	_, p := newPlant(10000)
+	base := p.COP(4 * time.Hour)
+	p.SetSupplySetpointC(26)
+	raised := p.COP(4 * time.Hour)
+	if raised <= base {
+		t.Errorf("COP should improve with higher setpoint: %v -> %v", base, raised)
+	}
+	hot := p.COP(16 * time.Hour)
+	if hot >= raised {
+		t.Errorf("COP should degrade in afternoon heat: %v -> %v", raised, hot)
+	}
+}
+
+func TestSetpointClamped(t *testing.T) {
+	_, p := newPlant(1)
+	p.SetSupplySetpointC(100)
+	if p.SupplySetpointC() != 30 {
+		t.Errorf("setpoint = %v, want clamped 30", p.SupplySetpointC())
+	}
+	p.SetSupplySetpointC(-10)
+	if p.SupplySetpointC() != 14 {
+		t.Errorf("setpoint = %v, want clamped 14", p.SupplySetpointC())
+	}
+}
+
+func TestPUE(t *testing.T) {
+	_, p := newPlant(10000)
+	pue := p.PUE(12 * time.Hour)
+	if pue <= 1.0 || pue > 2.0 {
+		t.Errorf("PUE = %.3f, want plausible (1,2]", pue)
+	}
+	// Zero load: PUE undefined -> +Inf.
+	_, empty := newPlant(0)
+	if !math.IsInf(empty.PUE(0), 1) {
+		t.Error("zero-load PUE should be +Inf")
+	}
+}
+
+func TestCoolingPowerScalesWithLoad(t *testing.T) {
+	_, small := newPlant(5000)
+	_, large := newPlant(20000)
+	if large.CoolingPowerW(0) <= small.CoolingPowerW(0) {
+		t.Error("cooling power should grow with IT load")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	e, p := newPlant(10000)
+	pts := p.Collector().Collect(e.Now())
+	names := map[string]bool{}
+	for _, pt := range pts {
+		names[pt.Name] = true
+	}
+	for _, want := range []string{"facility.outside.celsius", "facility.supply.setpoint", "facility.cooling.watts", "facility.it.watts", "facility.pue"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	// Zero-load plant omits PUE rather than emitting Inf.
+	_, empty := newPlant(0)
+	for _, pt := range empty.Collector().Collect(0) {
+		if pt.Name == "facility.pue" {
+			t.Error("zero-load collector must omit facility.pue")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"autoloop/internal/sim"
+)
+
+// invariantRig runs a random workload while continuously checking scheduler
+// invariants.
+type invariantRig struct {
+	e *sim.Engine
+	s *Scheduler
+	n int
+
+	violations []string
+}
+
+func newInvariantRig(seed int64, nodes int) *invariantRig {
+	e := sim.NewEngine(seed)
+	ids := make([]string, nodes)
+	for i := range ids {
+		ids[i] = nodeName(i)
+	}
+	r := &invariantRig{e: e, n: nodes}
+	r.s = New(e, ids, DefaultExtensionPolicy())
+	return r
+}
+
+// check records an invariant violation.
+func (r *invariantRig) check() {
+	// Invariant 1: allocated nodes never exceed the pool, and no node is
+	// double-allocated.
+	seen := map[string]int{}
+	busy := 0
+	for _, j := range r.s.Jobs() {
+		if j.State != JobRunning {
+			continue
+		}
+		if len(j.AssignedNodes) != j.Nodes {
+			r.violations = append(r.violations, "running job with wrong node count")
+		}
+		for _, n := range j.AssignedNodes {
+			seen[n]++
+			busy++
+		}
+	}
+	for n, c := range seen {
+		if c > 1 {
+			r.violations = append(r.violations, "node "+n+" double-allocated")
+		}
+	}
+	if busy > r.n {
+		r.violations = append(r.violations, "more nodes busy than exist")
+	}
+	// Invariant 2: no running job is past its deadline (the kill event at
+	// the deadline fires before any later event).
+	for _, j := range r.s.Jobs() {
+		if j.State == JobRunning && r.e.Now() > j.Deadline {
+			r.violations = append(r.violations, "running job past deadline")
+		}
+	}
+}
+
+// TestSchedulerInvariantsUnderRandomWorkload drives random submissions,
+// completions, extensions, and requeues, checking invariants continuously.
+func TestSchedulerInvariantsUnderRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newInvariantRig(seed, 8)
+		r.s.SetHooks(func(j *Job) {
+			// Jobs complete after a random fraction of their walltime
+			// (sometimes exceeding it -> killed).
+			frac := 0.3 + rng.Float64()
+			d := time.Duration(float64(j.Walltime) * frac)
+			id := j.ID
+			r.e.After(d, func() { r.s.JobFinished(id) })
+		}, nil)
+
+		for i := 0; i < 40; i++ {
+			at := time.Duration(rng.Int63n(int64(4 * time.Hour)))
+			nodes := 1 + rng.Intn(8)
+			wall := time.Duration(10+rng.Intn(120)) * time.Minute
+			name := "j" + string([]byte{byte('a' + i%26)})
+			r.e.At(at, func() {
+				_, _ = r.s.Submit(name, "u", nodes, wall, 0)
+			})
+		}
+		// Random extensions and requeues against running jobs.
+		r.e.Every(7*time.Minute, 7*time.Minute, func() bool {
+			r.check()
+			running := r.s.Running()
+			if len(running) > 0 {
+				j := running[rng.Intn(len(running))]
+				switch rng.Intn(3) {
+				case 0:
+					r.s.RequestExtension(j.ID, time.Duration(1+rng.Intn(60))*time.Minute)
+				case 1:
+					_ = r.s.Requeue(j.ID)
+				}
+			}
+			return r.e.Now() < 12*time.Hour
+		})
+		r.e.RunUntil(12 * time.Hour)
+		r.check()
+		if len(r.violations) > 0 {
+			t.Logf("seed %d violations: %v", seed, r.violations[:min(3, len(r.violations))])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoJobLostUnderChurn: every submitted job reaches a terminal state or
+// is still legitimately queued/running at the end; none vanish.
+func TestNoJobLostUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	r := newInvariantRig(77, 4)
+	r.s.SetHooks(func(j *Job) {
+		id := j.ID
+		r.e.After(time.Duration(rng.Int63n(int64(2*time.Hour))), func() { r.s.JobFinished(id) })
+	}, nil)
+	_ = r.s.AddMaintenance(3*time.Hour, 4*time.Hour)
+	for i := 0; i < 60; i++ {
+		at := time.Duration(rng.Int63n(int64(8 * time.Hour)))
+		r.e.At(at, func() {
+			_, _ = r.s.Submit("x", "u", 1+rng.Intn(4), time.Duration(20+rng.Intn(100))*time.Minute, 0)
+		})
+	}
+	r.e.RunUntil(48 * time.Hour)
+	counts := map[JobState]int{}
+	for _, j := range r.s.Jobs() {
+		counts[j.State]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != r.s.Stats().Submitted {
+		t.Errorf("job accounting mismatch: %d tracked vs %d submitted", total, r.s.Stats().Submitted)
+	}
+	if counts[JobPending] != 0 || counts[JobRunning] != 0 {
+		t.Errorf("jobs stuck after 48h drain: %v", counts)
+	}
+	if counts[JobCompleted]+counts[JobKilledWalltime]+counts[JobKilledMaint] != total {
+		t.Errorf("non-terminal states remain: %v", counts)
+	}
+}
+
+// TestBackfillNeverExceedsCapacity exercises heavy backfill pressure.
+func TestBackfillNeverExceedsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := newInvariantRig(5, 6)
+	r.s.SetHooks(func(j *Job) {
+		id := j.ID
+		d := time.Duration(float64(j.Walltime) * (0.5 + rng.Float64()*0.4))
+		r.e.After(d, func() { r.s.JobFinished(id) })
+	}, nil)
+	// Burst of mixed-size jobs at t=0 maximizes backfill decisions.
+	for i := 0; i < 30; i++ {
+		_, _ = r.s.Submit("b", "u", 1+rng.Intn(6), time.Duration(15+rng.Intn(180))*time.Minute, 0)
+	}
+	r.e.Every(time.Minute, time.Minute, func() bool {
+		r.check()
+		return r.e.Now() < 24*time.Hour
+	})
+	r.e.RunUntil(24 * time.Hour)
+	if len(r.violations) > 0 {
+		t.Fatalf("violations: %v", r.violations[:min(5, len(r.violations))])
+	}
+	if r.s.Stats().BackfillStart == 0 {
+		t.Error("scenario produced no backfill at all — not exercising the path")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,36 @@
+package sim
+
+import "time"
+
+// Clock abstracts the passage of time for loop components so that the same
+// code runs under simulated virtual time and under the wall clock. It is
+// deliberately minimal: autonomy-loop phases only ever need "what time is it"
+// and "run this later"; periodic behavior is built from those.
+type Clock interface {
+	// Now returns the current time as elapsed duration since the epoch.
+	Now() time.Duration
+	// AfterFunc arranges for fn to run d from now.
+	AfterFunc(d time.Duration, fn func())
+}
+
+// VirtualClock adapts an Engine to the Clock interface.
+type VirtualClock struct{ Engine *Engine }
+
+// Now implements Clock.
+func (c VirtualClock) Now() time.Duration { return c.Engine.Now() }
+
+// AfterFunc implements Clock.
+func (c VirtualClock) AfterFunc(d time.Duration, fn func()) { c.Engine.After(d, fn) }
+
+// WallClock implements Clock against real time, measured from the moment the
+// WallClock was created. It is used by cmd/modad to run loops in real time.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a WallClock whose epoch is the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *WallClock) Now() time.Duration { return time.Since(c.start) }
+
+// AfterFunc implements Clock.
+func (c *WallClock) AfterFunc(d time.Duration, fn func()) { time.AfterFunc(d, fn) }

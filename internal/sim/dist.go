@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution over durations, used for arrival processes, service
+// times, iteration times, and human response latencies throughout the
+// simulated substrates.
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) time.Duration
+	// Mean returns the distribution mean.
+	Mean() time.Duration
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V time.Duration }
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) time.Duration { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() time.Duration { return c.V }
+
+// Uniform samples uniformly from [Low, High].
+type Uniform struct{ Low, High time.Duration }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.High <= u.Low {
+		return u.Low
+	}
+	return u.Low + time.Duration(rng.Int63n(int64(u.High-u.Low)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Low + u.High) / 2 }
+
+// Exponential samples an exponential distribution with the given mean,
+// suitable for Poisson arrival processes.
+type Exponential struct{ MeanV time.Duration }
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.MeanV))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.MeanV }
+
+// Normal samples a normal distribution truncated at zero.
+type Normal struct {
+	MeanV  time.Duration
+	Stddev time.Duration
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) time.Duration {
+	v := rng.NormFloat64()*float64(n.Stddev) + float64(n.MeanV)
+	if v < 0 {
+		v = 0
+	}
+	return time.Duration(v)
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() time.Duration { return n.MeanV }
+
+// LogNormal samples a log-normal distribution parameterized by the desired
+// mean and coefficient of variation of the resulting values. Log-normal
+// run-time and iteration-time variability is the standard model for HPC
+// workloads and gives the heavy right tail that stresses forecasting.
+type LogNormal struct {
+	MeanV time.Duration
+	CV    float64 // coefficient of variation (stddev/mean) of the samples
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
+	if l.CV <= 0 {
+		return l.MeanV
+	}
+	sigma2 := math.Log(1 + l.CV*l.CV)
+	mu := math.Log(float64(l.MeanV)) - sigma2/2
+	v := math.Exp(rng.NormFloat64()*math.Sqrt(sigma2) + mu)
+	return time.Duration(v)
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() time.Duration { return l.MeanV }
+
+// Seconds is a convenience for building durations from float seconds, used
+// heavily by experiment configuration.
+func Seconds(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// Hours is a convenience for building durations from float hours.
+func Hours(h float64) time.Duration { return time.Duration(h * float64(time.Hour)) }
+
+// Minutes is a convenience for building durations from float minutes.
+func Minutes(m float64) time.Duration { return time.Duration(m * float64(time.Minute)) }

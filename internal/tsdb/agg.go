@@ -1,0 +1,209 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// Agg selects an aggregation function for Downsample and Reduce.
+type Agg int
+
+// Supported aggregations.
+const (
+	AggMean Agg = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+	AggLast
+	AggP50
+	AggP95
+	AggP99
+	AggStddev
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggLast:
+		return "last"
+	case AggP50:
+		return "p50"
+	case AggP95:
+		return "p95"
+	case AggP99:
+		return "p99"
+	case AggStddev:
+		return "stddev"
+	}
+	return "unknown"
+}
+
+// apply reduces values (may be reordered in place for percentiles).
+func (a Agg) apply(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	switch a {
+	case AggMean:
+		return mean(values)
+	case AggSum:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s
+	case AggMin:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggMax:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case AggCount:
+		return float64(len(values))
+	case AggLast:
+		return values[len(values)-1]
+	case AggP50:
+		return Percentile(values, 0.50)
+	case AggP95:
+		return Percentile(values, 0.95)
+	case AggP99:
+		return Percentile(values, 0.99)
+	case AggStddev:
+		return stddev(values)
+	}
+	return math.NaN()
+}
+
+func mean(values []float64) float64 {
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+func stddev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := mean(values)
+	s := 0.0
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)-1))
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation between order statistics. It copies the input, so the caller's
+// slice is left untouched. An empty input yields NaN.
+func Percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Downsample buckets s into fixed windows of width step aligned to the epoch
+// and reduces each non-empty bucket with agg. Bucket timestamps are the
+// bucket end, so downsampled points never claim knowledge of the future.
+func Downsample(s telemetry.Series, step time.Duration, agg Agg) telemetry.Series {
+	if step <= 0 || len(s.Samples) == 0 {
+		return s
+	}
+	out := telemetry.Series{Name: s.Name, Labels: s.Labels}
+	var bucket []float64
+	bucketIdx := int64(-1)
+	flush := func(idx int64) {
+		if len(bucket) == 0 {
+			return
+		}
+		end := time.Duration(idx+1) * step
+		out.Samples = append(out.Samples, telemetry.Sample{Time: end, Value: agg.apply(bucket)})
+		bucket = bucket[:0]
+	}
+	for _, smp := range s.Samples {
+		idx := int64(smp.Time / step)
+		if idx != bucketIdx {
+			flush(bucketIdx)
+			bucketIdx = idx
+		}
+		bucket = append(bucket, smp.Value)
+	}
+	flush(bucketIdx)
+	return out
+}
+
+// Reduce collapses all samples of s in [from, to] to a single value.
+func Reduce(s telemetry.Series, agg Agg) float64 {
+	return agg.apply(s.Values())
+}
+
+// ReduceAcross applies agg to the latest value of each series, answering
+// fleet-level questions like "p99 of per-OST latencies right now".
+func ReduceAcross(series []telemetry.Series, agg Agg) float64 {
+	var values []float64
+	for i := range series {
+		if last, ok := series[i].Last(); ok {
+			values = append(values, last.Value)
+		}
+	}
+	return agg.apply(values)
+}
+
+// Rate estimates the per-second rate of change of a monotonically increasing
+// counter series over its full range, tolerating equal endpoints by returning
+// zero. It is used to turn progress-marker counters into progress rates.
+func Rate(s telemetry.Series) float64 {
+	n := len(s.Samples)
+	if n < 2 {
+		return 0
+	}
+	first, last := s.Samples[0], s.Samples[n-1]
+	dt := last.Time - first.Time
+	if dt <= 0 {
+		return 0
+	}
+	return (last.Value - first.Value) / dt.Seconds()
+}

@@ -1,0 +1,215 @@
+// Package tsdb implements an in-memory time-series database for operational
+// telemetry: append-only labeled series with range and instant queries,
+// downsampling, aggregation, and retention.
+//
+// It is the storage substrate behind the Monitor phase and the raw-data part
+// of the Knowledge component. The query surface is intentionally close to
+// what a production MODA stack (DCDB, Prometheus, Examon) exposes, so loop
+// components written against it would port to a real deployment by swapping
+// this package behind the same calls.
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// memSeries stores one (name, labels) identity's samples in time order.
+type memSeries struct {
+	name    string
+	labels  telemetry.Labels
+	samples []telemetry.Sample
+}
+
+// DB is an in-memory time-series database. It is safe for concurrent use;
+// under the simulator all access is single-threaded, but cmd/modad serves
+// network queries from multiple goroutines.
+type DB struct {
+	mu sync.RWMutex
+	// byName maps metric name -> label key -> series.
+	byName map[string]map[string]*memSeries
+
+	retention time.Duration // 0 means keep everything
+	appended  uint64
+}
+
+// New returns an empty database that retains samples for the given duration;
+// retention <= 0 keeps all samples forever.
+func New(retention time.Duration) *DB {
+	return &DB{byName: make(map[string]map[string]*memSeries), retention: retention}
+}
+
+// Append inserts a point. Out-of-order points (earlier than the series tail)
+// are rejected with an error; equal timestamps overwrite the tail value so
+// that idempotent re-collection is harmless.
+func (db *DB) Append(p telemetry.Point) error {
+	if p.Name == "" {
+		return fmt.Errorf("tsdb: append with empty metric name")
+	}
+	if math.IsNaN(p.Value) {
+		return fmt.Errorf("tsdb: append NaN for %s%s", p.Name, p.Labels)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	families := db.byName[p.Name]
+	if families == nil {
+		families = make(map[string]*memSeries)
+		db.byName[p.Name] = families
+	}
+	key := p.Labels.Key()
+	s := families[key]
+	if s == nil {
+		s = &memSeries{name: p.Name, labels: p.Labels.Clone()}
+		families[key] = s
+	}
+	if n := len(s.samples); n > 0 {
+		last := s.samples[n-1].Time
+		if p.Time < last {
+			return fmt.Errorf("tsdb: out-of-order append for %s%s: %v < %v", p.Name, p.Labels, p.Time, last)
+		}
+		if p.Time == last {
+			s.samples[n-1].Value = p.Value
+			return nil
+		}
+	}
+	s.samples = append(s.samples, telemetry.Sample{Time: p.Time, Value: p.Value})
+	db.appended++
+	if db.retention > 0 {
+		cutoff := p.Time - db.retention
+		s.truncateBefore(cutoff)
+	}
+	return nil
+}
+
+// AppendAll inserts every point, returning the first error encountered (but
+// attempting all points regardless).
+func (db *DB) AppendAll(pts []telemetry.Point) error {
+	var first error
+	for _, p := range pts {
+		if err := db.Append(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// truncateBefore drops samples strictly older than cutoff.
+func (s *memSeries) truncateBefore(cutoff time.Duration) {
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time >= cutoff })
+	if i > 0 {
+		s.samples = append(s.samples[:0], s.samples[i:]...)
+	}
+}
+
+// Appended reports the total number of samples stored since creation
+// (overwrites of an existing tail timestamp do not count).
+func (db *DB) Appended() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.appended
+}
+
+// NumSeries reports the current series cardinality.
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, fams := range db.byName {
+		n += len(fams)
+	}
+	return n
+}
+
+// MetricNames returns all metric names in sorted order.
+func (db *DB) MetricNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.byName))
+	for n := range db.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query returns, for the metric name, every series whose labels match the
+// matcher, restricted to samples in [from, to]. Series are returned sorted by
+// label key so that results are deterministic. The returned series share no
+// storage with the database.
+func (db *DB) Query(name string, matcher telemetry.Labels, from, to time.Duration) []telemetry.Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fams := db.byName[name]
+	if fams == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(fams))
+	for k, s := range fams {
+		if s.labels.Matches(matcher) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []telemetry.Series
+	for _, k := range keys {
+		s := fams[k]
+		lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time >= from })
+		hi := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time > to })
+		if lo >= hi {
+			continue
+		}
+		cp := make([]telemetry.Sample, hi-lo)
+		copy(cp, s.samples[lo:hi])
+		out = append(out, telemetry.Series{Name: name, Labels: s.labels.Clone(), Samples: cp})
+	}
+	return out
+}
+
+// QueryOne is Query for callers expecting exactly one matching series; it
+// reports false when zero or multiple series match.
+func (db *DB) QueryOne(name string, matcher telemetry.Labels, from, to time.Duration) (telemetry.Series, bool) {
+	ss := db.Query(name, matcher, from, to)
+	if len(ss) != 1 {
+		return telemetry.Series{}, false
+	}
+	return ss[0], true
+}
+
+// Latest returns the most recent sample of every matching series.
+func (db *DB) Latest(name string, matcher telemetry.Labels) []telemetry.Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fams := db.byName[name]
+	if fams == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(fams))
+	for k, s := range fams {
+		if s.labels.Matches(matcher) && len(s.samples) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]telemetry.Point, 0, len(keys))
+	for _, k := range keys {
+		s := fams[k]
+		last := s.samples[len(s.samples)-1]
+		out = append(out, telemetry.Point{Name: name, Labels: s.labels.Clone(), Time: last.Time, Value: last.Value})
+	}
+	return out
+}
+
+// LatestValue returns the newest value of the single series matching
+// (name, matcher), or ok=false when none matches.
+func (db *DB) LatestValue(name string, matcher telemetry.Labels) (float64, bool) {
+	pts := db.Latest(name, matcher)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	return pts[len(pts)-1].Value, true
+}

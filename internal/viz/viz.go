@@ -1,0 +1,186 @@
+// Package viz renders telemetry series as terminal graphics — the
+// "Visualize" box of the paper's Fig. 1. Sparklines compress a series into
+// one line for dashboards and audit trails; Chart renders a full
+// height-binned plot for reports; Histogram summarizes distributions
+// (latencies, wait times).
+//
+// Everything returns plain strings so renderers compose with loggers, the
+// CLI tools, and tests.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"autoloop/internal/telemetry"
+)
+
+// sparkRunes are the eight block heights used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode sparkline of at most width
+// cells (values are bucketed by mean when len(values) > width). Empty input
+// yields an empty string.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	buckets := rebucket(values, width)
+	lo, hi := bounds(buckets)
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// SparkSeries renders a labeled sparkline with min/max annotations, e.g.
+//
+//	facility.pue ▁▂▄▇█▆▃ [1.32, 1.51]
+func SparkSeries(s telemetry.Series, width int) string {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return s.Name + " (no data)"
+	}
+	lo, hi := bounds(vals)
+	return fmt.Sprintf("%s %s [%.4g, %.4g]", s.Name, Sparkline(vals, width), lo, hi)
+}
+
+// Chart renders values as a rows-high, width-wide block chart with an
+// axis legend. Empty input yields an empty string.
+func Chart(values []float64, width, rows int) string {
+	if len(values) == 0 || width <= 0 || rows <= 0 {
+		return ""
+	}
+	buckets := rebucket(values, width)
+	lo, hi := bounds(buckets)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, len(buckets))
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for c, v := range buckets {
+		// fill from the bottom row up to the value's height
+		h := (v - lo) / span * float64(rows)
+		full := int(h)
+		for r := 0; r < full && r < rows; r++ {
+			grid[rows-1-r][c] = '█'
+		}
+		if full < rows {
+			frac := h - float64(full)
+			if idx := int(frac * float64(len(sparkRunes))); idx > 0 {
+				grid[rows-1-full][c] = sparkRunes[idx-1]
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.4g ", hi)
+		case rows - 1:
+			label = fmt.Sprintf("%7.4g ", lo)
+		}
+		b.WriteString(label)
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram renders a horizontal-bar histogram of values with the given
+// number of bins, each line showing the bin range, count, and a bar scaled
+// to maxBar characters.
+func Histogram(values []float64, bins, maxBar int) string {
+	if len(values) == 0 || bins <= 0 {
+		return ""
+	}
+	if maxBar <= 0 {
+		maxBar = 40
+	}
+	lo, hi := bounds(values)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		idx := int((v - lo) / span * float64(bins))
+		if idx >= bins {
+			idx = bins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		binLo := lo + span*float64(i)/float64(bins)
+		binHi := lo + span*float64(i+1)/float64(bins)
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("█", c*maxBar/maxCount)
+		}
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %6d %s\n", binLo, binHi, c, bar)
+	}
+	return b.String()
+}
+
+// rebucket reduces values to at most width buckets by averaging.
+func rebucket(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func bounds(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,133 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+
+	"autoloop/internal/telemetry"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("rune count = %d, want 8", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline = %q, want ascending ▁..█", s)
+	}
+}
+
+func TestSparklineEmptyAndDegenerate(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should yield empty string")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Error("zero width should yield empty string")
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestSparklineRebuckets(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 10)
+	if utf8.RuneCountInString(s) != 10 {
+		t.Errorf("rebucketed width = %d, want 10", utf8.RuneCountInString(s))
+	}
+}
+
+// Property: the sparkline never exceeds the requested width and is
+// monotone-safe (no panic) for arbitrary inputs.
+func TestSparklineWidthProperty(t *testing.T) {
+	f := func(vals []float64, width uint8) bool {
+		w := int(width%40) + 1
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !isBad(v) {
+				clean = append(clean, v)
+			}
+		}
+		s := Sparkline(clean, w)
+		return utf8.RuneCountInString(s) <= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isBad(v float64) bool {
+	return v != v || v > 1e308 || v < -1e308
+}
+
+func TestSparkSeries(t *testing.T) {
+	s := telemetry.Series{Name: "facility.pue", Samples: []telemetry.Sample{
+		{Time: 1, Value: 1.3}, {Time: 2, Value: 1.5},
+	}}
+	out := SparkSeries(s, 10)
+	if !strings.Contains(out, "facility.pue") || !strings.Contains(out, "[1.3, 1.5]") {
+		t.Errorf("SparkSeries = %q", out)
+	}
+	empty := SparkSeries(telemetry.Series{Name: "x"}, 10)
+	if !strings.Contains(empty, "no data") {
+		t.Errorf("empty SparkSeries = %q", empty)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart([]float64{0, 5, 10}, 3, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart rows = %d, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "10") {
+		t.Errorf("top row should carry max label: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "0") {
+		t.Errorf("bottom row should carry min label: %q", lines[3])
+	}
+	// The tallest column must reach the top row.
+	if !strings.ContainsRune(lines[0], '█') && !strings.ContainsAny(lines[0], "▁▂▃▄▅▆▇") {
+		t.Errorf("max value not visible in top row: %q", lines[0])
+	}
+	if Chart(nil, 3, 4) != "" {
+		t.Error("empty chart should be empty string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []float64{1, 1, 1, 1, 2, 2, 9}
+	out := Histogram(vals, 4, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("histogram lines = %d, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "6") {
+		t.Errorf("first bin [1,3) should hold 6: %q", lines[0])
+	}
+	// The fullest bin gets the longest bar.
+	if strings.Count(lines[0], "█") <= strings.Count(lines[3], "█") {
+		t.Errorf("bar scaling wrong:\n%s", out)
+	}
+	if Histogram(nil, 4, 20) != "" {
+		t.Error("empty histogram should be empty")
+	}
+}
+
+func TestRebucketAveraging(t *testing.T) {
+	got := rebucket([]float64{0, 10, 20, 30}, 2)
+	if len(got) != 2 || got[0] != 5 || got[1] != 25 {
+		t.Errorf("rebucket = %v, want [5 25]", got)
+	}
+	same := rebucket([]float64{1, 2}, 5)
+	if len(same) != 2 {
+		t.Errorf("rebucket should pass through short input: %v", same)
+	}
+}
