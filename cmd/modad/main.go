@@ -56,16 +56,12 @@ func main() {
 	reg.Register(fs.Collector())
 	reg.Register(scheduler.Collector())
 
-	// Publish every gathered point on the bus and store it.
+	// One batched pipeline stores every gathered point and fans the batch
+	// out on the bus — a single ingest pass and a single PublishBatch per
+	// sampling round, with each point on "telemetry.<name>".
+	pipe := telemetry.NewPipeline(reg, db).PublishTo(b, "modad")
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
-		now := engine.Now()
-		for _, p := range reg.Gather(now) {
-			_ = db.Append(p)
-			b.Publish(bus.Envelope{
-				Topic: "telemetry." + p.Name, Time: now, Source: "modad",
-				Payload: map[string]interface{}{"labels": p.Labels, "value": p.Value},
-			})
-		}
+		pipe.Sample(engine.Now())
 		return true
 	})
 

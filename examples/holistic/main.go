@@ -45,8 +45,9 @@ func main() {
 	reg.Register(plant.Collector())
 	reg.Register(fs.Collector())
 	reg.Register(scheduler.Collector())
+	pipe := telemetry.NewPipeline(reg, db)
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
-		_ = db.AppendAll(reg.Gather(engine.Now()))
+		pipe.Sample(engine.Now())
 		return engine.Now() < 4*time.Hour
 	})
 

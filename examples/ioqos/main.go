@@ -18,6 +18,7 @@ import (
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
 )
 
@@ -39,9 +40,9 @@ func main() {
 		func() bool { return engine.Now() >= 30*time.Minute })
 
 	// Telemetry sampling feeds the loops.
-	col := fs.Collector()
+	pipe := telemetry.NewPipeline(telemetry.NewRegistryOf(fs.Collector()), db)
 	engine.Every(10*time.Second, 10*time.Second, func() bool {
-		_ = db.AppendAll(col.Collect(engine.Now()))
+		pipe.Sample(engine.Now())
 		return engine.Now() < 30*time.Minute
 	})
 

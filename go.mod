@@ -1,0 +1,3 @@
+module autoloop
+
+go 1.24

@@ -61,8 +61,9 @@ func newWorld(t *testing.T, seed int64) *world {
 	reg.Register(plant.Collector())
 	reg.Register(fs.Collector())
 	reg.Register(scheduler.Collector())
+	pipe := telemetry.NewPipeline(reg, db)
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
-		_ = db.AppendAll(reg.Gather(engine.Now()))
+		pipe.Sample(engine.Now())
 		return engine.Now() < 24*time.Hour
 	})
 	return &world{

@@ -475,23 +475,31 @@ func (i *Instance) emit(name string, value float64) {
 
 // emitMarker drops the progress marker set: app.progress (completed
 // iterations), app.progress_total (the input deck's total), app.iter_time_ms,
-// and misconfiguration signals.
+// and misconfiguration signals. The whole set is ingested as one batch so a
+// marker costs one TSDB lock round-trip, not one per metric.
 func (i *Instance) emitMarker() {
-	i.emit("app.progress", float64(i.iter))
-	i.emit("app.progress_total", float64(i.Spec.TotalIters))
+	labels := i.labels()
+	now := i.rt.engine.Now()
+	batch := make([]telemetry.Point, 0, 4)
+	add := func(name string, value float64) {
+		batch = append(batch, telemetry.Point{Name: name, Labels: labels, Time: now, Value: value})
+	}
+	add("app.progress", float64(i.iter))
+	add("app.progress_total", float64(i.Spec.TotalIters))
 	if i.lastIterSec > 0 {
-		i.emit("app.iter_time_ms", i.lastIterSec*1000)
+		add("app.iter_time_ms", i.lastIterSec*1000)
 	}
 	if !i.fixedConfig {
 		switch i.Spec.Misconfig {
 		case MisconfigThreads:
 			// Oversubscription shows up as a context-switch storm.
-			i.emit("app.ctx_switch_rate", 50000+i.rt.engine.Rand().Float64()*20000)
+			add("app.ctx_switch_rate", 50000+i.rt.engine.Rand().Float64()*20000)
 		case MisconfigWrongLib:
-			i.emit("app.lib_warn", 1)
+			add("app.lib_warn", 1)
 		}
 	}
 	if i.Spec.Misconfig == MisconfigNone || i.fixedConfig {
-		i.emit("app.ctx_switch_rate", 1000+i.rt.engine.Rand().Float64()*500)
+		add("app.ctx_switch_rate", 1000+i.rt.engine.Rand().Float64()*500)
 	}
+	_ = i.rt.db.AppendBatch(batch)
 }

@@ -1,0 +1,122 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// linearBus replicates the pre-index dispatcher — a flat subscription slice
+// scanned on every publish, with counters folded under a second write-lock —
+// as the baseline BenchmarkBusDispatch is measured against.
+type linearBus struct {
+	mu        sync.RWMutex
+	subs      []subscription
+	published uint64
+	delivered uint64
+}
+
+func (b *linearBus) subscribe(pattern string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, subscription{id: len(b.subs) + 1, pattern: pattern, h: h})
+}
+
+func (b *linearBus) publish(env Envelope) {
+	b.mu.RLock()
+	matched := make([]Handler, 0, 4)
+	for _, s := range b.subs {
+		if matches(s.pattern, env.Topic) {
+			matched = append(matched, s.h)
+		}
+	}
+	b.mu.RUnlock()
+	b.mu.Lock()
+	b.published++
+	b.delivered += uint64(len(matched))
+	b.mu.Unlock()
+	for _, h := range matched {
+		h(env)
+	}
+}
+
+const benchSubscribers = 1000
+
+func benchTopics() []string {
+	topics := make([]string, benchSubscribers)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("telemetry.domain%02d.metric%03d", i%16, i)
+	}
+	return topics
+}
+
+// BenchmarkBusDispatch publishes exact-topic envelopes into a bus holding
+// 1,000 subscribers; the topic-indexed fabric resolves each publish with one
+// map hit instead of a 1,000-entry scan.
+func BenchmarkBusDispatch(b *testing.B) {
+	bus := New()
+	sink := 0
+	for _, topic := range benchTopics() {
+		bus.Subscribe(topic, func(Envelope) { sink++ })
+	}
+	env := Envelope{Topic: "telemetry.domain07.metric500"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(env)
+	}
+}
+
+// BenchmarkBusDispatchLinear is the seed's linear-scan dispatcher on the
+// identical workload — the baseline the acceptance speedup is counted from.
+func BenchmarkBusDispatchLinear(b *testing.B) {
+	bus := &linearBus{}
+	sink := 0
+	for _, topic := range benchTopics() {
+		bus.subscribe(topic, func(Envelope) { sink++ })
+	}
+	env := Envelope{Topic: "telemetry.domain07.metric500"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.publish(env)
+	}
+}
+
+// BenchmarkBusDispatchWildcard measures dispatch when prefix subscribers are
+// in play alongside the exact index.
+func BenchmarkBusDispatchWildcard(b *testing.B) {
+	bus := New()
+	sink := 0
+	for _, topic := range benchTopics() {
+		bus.Subscribe(topic, func(Envelope) { sink++ })
+	}
+	for i := 0; i < 16; i++ {
+		bus.Subscribe(fmt.Sprintf("telemetry.domain%02d.*", i), func(Envelope) { sink++ })
+	}
+	env := Envelope{Topic: "telemetry.domain07.metric500"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(env)
+	}
+}
+
+// BenchmarkBusPublishBatch publishes 64-point batches sharing one topic,
+// the telemetry pipeline's shape, amortizing lock and handler resolution.
+func BenchmarkBusPublishBatch(b *testing.B) {
+	bus := New()
+	sink := 0
+	for _, topic := range benchTopics() {
+		bus.Subscribe(topic, func(Envelope) { sink++ })
+	}
+	batch := make([]Envelope, 64)
+	for i := range batch {
+		batch[i] = Envelope{Topic: "telemetry.domain07.metric500"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.PublishBatch(batch)
+	}
+}

@@ -9,6 +9,11 @@
 // "loop.<name>.plan", "sched.extension.result", ...). In-process delivery is
 // synchronous and deterministic under the simulator; the wire transport
 // carries the same envelopes across the network for cmd/modad.
+//
+// Dispatch is topic-indexed: exact-topic subscriptions live in a hash map and
+// "prefix.*" subscriptions in a segment trie, so Publish costs O(topic depth)
+// regardless of how many subscriptions exist. Stats are atomic counters, so
+// the whole dispatch path takes a single read-lock.
 package bus
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,19 +47,42 @@ type subscription struct {
 	h       Handler
 }
 
+// trieNode is one segment of the prefix index. A subscription for "a.b.*"
+// hangs its wild list off the node reached by descending "a" then "b"; the
+// dispatch walk collects wild lists along the topic's segment path.
+type trieNode struct {
+	children map[string]*trieNode
+	wild     []*subscription
+}
+
 // Bus is an in-process topic pub/sub hub. Delivery is synchronous: Publish
 // invokes every matching handler before returning, which keeps simulated
 // loops deterministic. Bus is safe for concurrent use.
 type Bus struct {
-	mu        sync.RWMutex
-	nextID    int
-	subs      []subscription
-	published uint64
-	delivered uint64
+	mu     sync.RWMutex
+	nextID int
+	// exact indexes literal-topic subscriptions by topic.
+	exact map[string][]*subscription
+	// root indexes "prefix.*" subscriptions by segment path; its own wild
+	// list holds bare-"*" subscriptions, which match every topic.
+	root trieNode
+	// loose holds wildcard patterns whose prefix is not segment-aligned
+	// ("loo*"); they are rare and matched linearly.
+	loose []*subscription
+	// patternCount refcounts live patterns for Topics().
+	patternCount map[string]int
+
+	published atomic.Uint64
+	delivered atomic.Uint64
 }
 
 // New returns an empty bus.
-func New() *Bus { return &Bus{} }
+func New() *Bus {
+	return &Bus{
+		exact:        make(map[string][]*subscription),
+		patternCount: make(map[string]int),
+	}
+}
 
 // Subscribe registers h for every envelope whose topic matches pattern.
 // A pattern either names a topic exactly or ends in ".*" / "*" to match a
@@ -65,31 +94,187 @@ func (b *Bus) Subscribe(pattern string, h Handler) (cancel func()) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.exact == nil { // keep the zero value usable, like New()
+		b.exact = make(map[string][]*subscription)
+		b.patternCount = make(map[string]int)
+	}
 	b.nextID++
-	id := b.nextID
-	b.subs = append(b.subs, subscription{id: id, pattern: pattern, h: h})
+	s := &subscription{id: b.nextID, pattern: pattern, h: h}
+	b.insertLocked(s)
+	b.patternCount[pattern]++
+	done := false
 	return func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
-		for i, s := range b.subs {
-			if s.id == id {
-				b.subs = append(b.subs[:i], b.subs[i+1:]...)
-				return
-			}
+		if done {
+			return
+		}
+		done = true
+		b.removeLocked(s)
+		if b.patternCount[pattern]--; b.patternCount[pattern] <= 0 {
+			delete(b.patternCount, pattern)
 		}
 	}
 }
 
-// matches reports whether topic matches pattern (exact, or prefix with a
-// trailing "*").
-func matches(pattern, topic string) bool {
-	if pattern == "*" {
-		return true
+// insertLocked places s into the index matching its pattern shape.
+func (b *Bus) insertLocked(s *subscription) {
+	prefix, wild := wildPrefix(s.pattern)
+	switch {
+	case !wild:
+		b.exact[s.pattern] = append(b.exact[s.pattern], s)
+	case prefix == "":
+		b.root.wild = append(b.root.wild, s)
+	case strings.HasSuffix(prefix, "."):
+		n := &b.root
+		for _, seg := range strings.Split(prefix[:len(prefix)-1], ".") {
+			child := n.children[seg]
+			if child == nil {
+				child = &trieNode{}
+				if n.children == nil {
+					n.children = make(map[string]*trieNode)
+				}
+				n.children[seg] = child
+			}
+			n = child
+		}
+		n.wild = append(n.wild, s)
+	default:
+		b.loose = append(b.loose, s)
 	}
+}
+
+// removeLocked undoes insertLocked, pruning emptied trie nodes.
+func (b *Bus) removeLocked(s *subscription) {
+	prefix, wild := wildPrefix(s.pattern)
+	switch {
+	case !wild:
+		if rest := dropSub(b.exact[s.pattern], s); len(rest) == 0 {
+			delete(b.exact, s.pattern)
+		} else {
+			b.exact[s.pattern] = rest
+		}
+	case prefix == "":
+		b.root.wild = dropSub(b.root.wild, s)
+	case strings.HasSuffix(prefix, "."):
+		segs := strings.Split(prefix[:len(prefix)-1], ".")
+		path := make([]*trieNode, 0, len(segs)+1)
+		n := &b.root
+		path = append(path, n)
+		for _, seg := range segs {
+			n = n.children[seg]
+			if n == nil {
+				return // never inserted (unreachable in practice)
+			}
+			path = append(path, n)
+		}
+		n.wild = dropSub(n.wild, s)
+		for i := len(path) - 1; i > 0; i-- {
+			node := path[i]
+			if len(node.wild) > 0 || len(node.children) > 0 {
+				break
+			}
+			delete(path[i-1].children, segs[i-1])
+		}
+	default:
+		b.loose = dropSub(b.loose, s)
+	}
+}
+
+// dropSub removes s from list, preserving the id order of the rest.
+func dropSub(list []*subscription, s *subscription) []*subscription {
+	for i, have := range list {
+		if have == s {
+			out := make([]*subscription, 0, len(list)-1)
+			out = append(out, list[:i]...)
+			return append(out, list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// wildPrefix classifies pattern: wild reports whether it ends in "*", and
+// prefix is the literal part before the "*".
+func wildPrefix(pattern string) (prefix string, wild bool) {
 	if strings.HasSuffix(pattern, "*") {
-		return strings.HasPrefix(topic, strings.TrimSuffix(pattern, "*"))
+		return pattern[:len(pattern)-1], true
+	}
+	return pattern, false
+}
+
+// matches reports whether topic matches pattern (exact, or prefix with a
+// trailing "*"). It is the reference semantics the index implements.
+func matches(pattern, topic string) bool {
+	if prefix, wild := wildPrefix(pattern); wild {
+		return strings.HasPrefix(topic, prefix)
 	}
 	return pattern == topic
+}
+
+// collectLocked gathers the handlers matching topic in subscription-id order.
+// Callers must hold at least the read lock; the returned slice is freshly
+// allocated and safe to use after the lock is released.
+func (b *Bus) collectLocked(topic string) []Handler {
+	// Gather the (individually id-sorted) source lists that can match.
+	var store [6][]*subscription
+	lists := store[:0]
+	if ss := b.exact[topic]; len(ss) > 0 {
+		lists = append(lists, ss)
+	}
+	if len(b.root.wild) > 0 {
+		lists = append(lists, b.root.wild)
+	}
+	// Walk the segment trie: a wild list at depth d matches topics whose
+	// first d segments reach its node and that continue past a "." there —
+	// exactly strings.HasPrefix(topic, "seg1.…segd.").
+	n, rest := &b.root, topic
+	for len(n.children) > 0 {
+		i := strings.IndexByte(rest, '.')
+		if i < 0 {
+			break
+		}
+		n = n.children[rest[:i]]
+		if n == nil {
+			break
+		}
+		rest = rest[i+1:]
+		if len(n.wild) > 0 {
+			lists = append(lists, n.wild)
+		}
+	}
+	for _, s := range b.loose {
+		if matches(s.pattern, topic) {
+			lists = append(lists, []*subscription{s})
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]Handler, len(lists[0]))
+		for i, s := range lists[0] {
+			out[i] = s.h
+		}
+		return out
+	}
+	// Merge by subscription id so dispatch order equals subscription order.
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Handler, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for li, l := range lists {
+			if pos[li] < len(l) && (best < 0 || l[pos[li]].id < lists[best][pos[best]].id) {
+				best = li
+			}
+		}
+		out = append(out, lists[best][pos[best]].h)
+		pos[best]++
+	}
+	return out
 }
 
 // Publish delivers env to all matching subscribers in subscription order.
@@ -98,29 +283,63 @@ func (b *Bus) Publish(env Envelope) {
 		panic("bus: Publish with empty topic")
 	}
 	b.mu.RLock()
-	matched := make([]Handler, 0, 4)
-	for _, s := range b.subs {
-		if matches(s.pattern, env.Topic) {
-			matched = append(matched, s.h)
-		}
-	}
+	matched := b.collectLocked(env.Topic)
 	b.mu.RUnlock()
 
-	b.mu.Lock()
-	b.published++
-	b.delivered += uint64(len(matched))
-	b.mu.Unlock()
-
+	b.published.Add(1)
+	b.delivered.Add(uint64(len(matched)))
 	for _, h := range matched {
 		h(env)
 	}
 }
 
+// PublishBatch delivers every envelope in order, resolving the subscriber set
+// for the whole batch under one read-lock and bumping the stats counters
+// once. Runs of envelopes sharing a topic — the common case for telemetry
+// point batches — reuse one handler resolution.
+//
+// The subscriber set is snapshotted once for the whole batch: a handler that
+// subscribes or cancels mid-batch changes delivery only for subsequent
+// publishes, not for the remaining envelopes of this batch (Publish has the
+// same property per envelope).
+func (b *Bus) PublishBatch(envs []Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	for i := range envs {
+		if envs[i].Topic == "" {
+			panic("bus: PublishBatch with empty topic")
+		}
+	}
+	plans := make([][]Handler, len(envs))
+	var lastTopic string
+	var lastHandlers []Handler
+	have := false
+	total := 0
+	b.mu.RLock()
+	for i := range envs {
+		if !have || envs[i].Topic != lastTopic {
+			lastTopic = envs[i].Topic
+			lastHandlers = b.collectLocked(lastTopic)
+			have = true
+		}
+		plans[i] = lastHandlers
+		total += len(lastHandlers)
+	}
+	b.mu.RUnlock()
+
+	b.published.Add(uint64(len(envs)))
+	b.delivered.Add(uint64(total))
+	for i, env := range envs {
+		for _, h := range plans[i] {
+			h(env)
+		}
+	}
+}
+
 // Stats reports how many envelopes were published and delivered.
 func (b *Bus) Stats() (published, delivered uint64) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.published, b.delivered
+	return b.published.Load(), b.delivered.Load()
 }
 
 // Topics returns the sorted set of currently subscribed patterns, for
@@ -128,12 +347,8 @@ func (b *Bus) Stats() (published, delivered uint64) {
 func (b *Bus) Topics() []string {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	set := map[string]bool{}
-	for _, s := range b.subs {
-		set[s.pattern] = true
-	}
-	out := make([]string, 0, len(set))
-	for p := range set {
+	out := make([]string, 0, len(b.patternCount))
+	for p := range b.patternCount {
 		out = append(out, p)
 	}
 	sort.Strings(out)

@@ -7,6 +7,7 @@ import (
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
 )
 
@@ -36,9 +37,9 @@ func newRig(t *testing.T) *rig {
 	fs := pfs.New(e, pfs.Config{OSTs: 4, OSTBandwidthMBps: 100, DefaultStripeCount: 2})
 	kb := knowledge.NewBase()
 	ctl := New(DefaultConfig(tenants(), 2000), db, fs, kb)
-	col := fs.Collector()
+	pipe := telemetry.NewPipeline(telemetry.NewRegistryOf(fs.Collector()), db)
 	e.Every(10*time.Second, 10*time.Second, func() bool {
-		_ = db.AppendAll(col.Collect(e.Now()))
+		pipe.Sample(e.Now())
 		return true
 	})
 	return &rig{e: e, db: db, fs: fs, kb: kb, ctl: ctl}

@@ -1,10 +1,12 @@
 package maintcase
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"autoloop/internal/app"
+	"autoloop/internal/bus"
 	"autoloop/internal/core"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -169,5 +171,34 @@ func TestExecuteRejectsUnknownAction(t *testing.T) {
 	}
 	if _, err := r.ctl.execute(0, core.Action{Kind: "checkpoint-requeue", Subject: "x"}); err == nil {
 		t.Error("expected error for bad subject")
+	}
+}
+
+// TestLoopEventsOnBus checks the maintenance loop's lifecycle lands on an
+// attached bus as "loop.<name>.*" envelopes: the endangered-job scenario must
+// produce findings, planned actions, and executed checkpoint/requeues.
+func TestLoopEventsOnBus(t *testing.T) {
+	r := newRig(t)
+	r.rt.RegisterSpec("big", app.Spec{
+		Name: "big", TotalIters: 300, IterTime: sim.Constant{V: time.Minute},
+		CheckpointCost: 2 * time.Minute,
+	})
+	if _, err := r.s.Submit("big", "u", 1, 8*time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.s.AddMaintenance(2*time.Hour, 3*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	b := bus.New()
+	counts := map[string]int{}
+	b.Subscribe("loop.*", func(e bus.Envelope) {
+		counts[e.Topic[strings.LastIndexByte(e.Topic, '.')+1:]]++
+	})
+	loop := r.ctl.Loop()
+	loop.Bus = b
+	loop.RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, nil)
+	r.e.RunUntil(2 * time.Hour)
+	if counts["finding"] == 0 || counts["plan"] == 0 || counts["execute"] == 0 {
+		t.Errorf("loop events = %v; want finding, plan, and execute envelopes", counts)
 	}
 }

@@ -1,10 +1,12 @@
 package misconfcase
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"autoloop/internal/app"
+	"autoloop/internal/bus"
 	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/sched"
@@ -170,5 +172,24 @@ func TestExecuteErrors(t *testing.T) {
 	}
 	if _, err := r.ctl.execute(0, core.Action{Kind: "fix-misconfig", Subject: "zz"}); err == nil {
 		t.Error("bad subject should error")
+	}
+}
+
+// TestLoopEventsOnBus checks the misconfiguration loop publishes its
+// detect-and-fix lifecycle on an attached bus.
+func TestLoopEventsOnBus(t *testing.T) {
+	r := newRig(t, true)
+	r.launch(t, "bad-threads", app.MisconfigThreads, 1)
+	b := bus.New()
+	counts := map[string]int{}
+	b.Subscribe("loop.*", func(e bus.Envelope) {
+		counts[e.Topic[strings.LastIndexByte(e.Topic, '.')+1:]]++
+	})
+	loop := r.ctl.Loop()
+	loop.Bus = b
+	loop.RunEvery(sim.VirtualClock{Engine: r.e}, time.Minute, nil)
+	r.e.RunUntil(30 * time.Minute)
+	if counts["finding"] == 0 || counts["plan"] == 0 || counts["execute"] == 0 {
+		t.Errorf("loop events = %v; want finding, plan, and execute envelopes", counts)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
 )
 
@@ -31,9 +32,9 @@ func newRig(t *testing.T, osts int) *rig {
 	rt.OnComplete = func(inst *app.Instance) { s.JobFinished(inst.Job.ID) }
 	s.SetHooks(rt.Start, rt.Kill)
 	// Sample filesystem telemetry every 30s so the loop has data.
-	col := fs.Collector()
+	pipe := telemetry.NewPipeline(telemetry.NewRegistryOf(fs.Collector()), db)
 	e.Every(30*time.Second, 30*time.Second, func() bool {
-		_ = db.AppendAll(col.Collect(e.Now()))
+		pipe.Sample(e.Now())
 		return true
 	})
 	return &rig{e: e, db: db, fs: fs, s: s, rt: rt, ctl: New(DefaultConfig(), db, s, rt)}

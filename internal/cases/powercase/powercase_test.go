@@ -33,8 +33,9 @@ func newRig(t *testing.T) *rig {
 	reg := telemetry.NewRegistry()
 	reg.Register(cl.Collector())
 	reg.Register(plant.Collector())
+	pipe := telemetry.NewPipeline(reg, db)
 	e.Every(30*time.Second, 30*time.Second, func() bool {
-		_ = db.AppendAll(reg.Gather(e.Now()))
+		pipe.Sample(e.Now())
 		return e.Now() < 12*time.Hour
 	})
 	return &rig{e: e, db: db, cl: cl, plant: plant, ctl: New(DefaultConfig(), db, plant)}

@@ -1,10 +1,12 @@
 package schedcase
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"autoloop/internal/app"
+	"autoloop/internal/bus"
 	"autoloop/internal/core"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/sched"
@@ -287,4 +289,23 @@ func TestNilDependencyPanics(t *testing.T) {
 		}
 	}()
 	New(DefaultConfig(), nil, nil, nil, nil, nil)
+}
+
+// TestLoopEventsOnBus checks the walltime-extension loop publishes its
+// lifecycle on an attached bus while extending an underestimated job.
+func TestLoopEventsOnBus(t *testing.T) {
+	r := newRig(t, DefaultConfig(), sched.ExtensionPolicy{MaxPerJob: 3, MaxTotalPerJob: 10 * time.Hour})
+	r.noteEnds()
+	r.launch(t, "under", 100, time.Minute, 60*time.Minute)
+	b := bus.New()
+	counts := map[string]int{}
+	b.Subscribe("loop.*", func(e bus.Envelope) {
+		counts[e.Topic[strings.LastIndexByte(e.Topic, '.')+1:]]++
+	})
+	r.loop.Bus = b
+	r.loop.RunEvery(sim.VirtualClock{Engine: r.e}, 5*time.Minute, nil)
+	r.e.RunUntil(3 * time.Hour)
+	if counts["finding"] == 0 || counts["plan"] == 0 || counts["execute"] == 0 {
+		t.Errorf("loop events = %v; want finding, plan, and execute envelopes", counts)
+	}
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"autoloop/internal/bus"
+)
+
+// eventLoop builds a loop that always finds one symptom and plans one action.
+func eventLoop(execErr error) *Loop {
+	return NewLoop("evt",
+		MonitorFunc(func(now time.Duration) (Observation, error) {
+			return Observation{Time: now}, nil
+		}),
+		AnalyzerFunc(func(now time.Duration, obs Observation) (Symptoms, error) {
+			return Symptoms{Time: now, Findings: []Finding{{Kind: "hot", Subject: "n1", Value: 91}}}, nil
+		}),
+		PlannerFunc(func(now time.Duration, sym Symptoms) (Plan, error) {
+			return Plan{Time: now, Actions: []Action{{Kind: "cool", Subject: "n1", Amount: 1}}}, nil
+		}),
+		ExecutorFunc(func(now time.Duration, a Action) (ActionResult, error) {
+			if execErr != nil {
+				return ActionResult{}, execErr
+			}
+			return ActionResult{Action: a, Honored: true, Granted: a.Amount}, nil
+		}),
+	)
+}
+
+func TestLoopPublishesLifecycleEvents(t *testing.T) {
+	b := bus.New()
+	var topics []string
+	b.Subscribe("loop.evt.*", func(e bus.Envelope) { topics = append(topics, e.Topic) })
+	var payloads []interface{}
+	b.Subscribe("loop.evt.execute", func(e bus.Envelope) { payloads = append(payloads, e.Payload) })
+
+	l := eventLoop(nil)
+	l.Bus = b
+	l.Tick(time.Minute)
+
+	want := []string{"loop.evt.finding", "loop.evt.plan", "loop.evt.execute"}
+	if strings.Join(topics, ",") != strings.Join(want, ",") {
+		t.Fatalf("topics = %v, want %v", topics, want)
+	}
+	if len(payloads) != 1 {
+		t.Fatalf("execute events = %d, want 1", len(payloads))
+	}
+	res, ok := payloads[0].(ActionResult)
+	if !ok || !res.Honored || res.Action.Kind != "cool" {
+		t.Errorf("execute payload = %#v", payloads[0])
+	}
+	// The whole tick must publish as one batch: published counts 3 envelopes.
+	if pub, del := b.Stats(); pub != 3 || del != 4 {
+		t.Errorf("bus stats = %d, %d; want 3, 4", pub, del)
+	}
+}
+
+func TestLoopPublishesVetoAndFailedExecute(t *testing.T) {
+	b := bus.New()
+	counts := map[string]int{}
+	b.Subscribe("loop.evt.*", func(e bus.Envelope) {
+		counts[strings.TrimPrefix(e.Topic, "loop.evt.")]++
+	})
+
+	vetoed := eventLoop(nil)
+	vetoed.Bus = b
+	vetoed.Guards = []Guardrail{GuardrailFunc(func(now time.Duration, loop string, a Action) error {
+		return fmt.Errorf("no")
+	})}
+	vetoed.Tick(time.Minute)
+	if counts["veto"] != 1 || counts["execute"] != 0 {
+		t.Errorf("after veto: %v", counts)
+	}
+
+	failing := eventLoop(fmt.Errorf("actuator offline"))
+	failing.Bus = b
+	failing.Tick(2 * time.Minute)
+	if counts["execute"] != 1 {
+		t.Errorf("after failed execute: %v", counts)
+	}
+}
+
+func TestLoopWithoutBusPublishesNothing(t *testing.T) {
+	l := eventLoop(nil)
+	l.Tick(time.Minute) // must not panic with a nil bus
+	if l.Metrics().ExecutedActions != 1 {
+		t.Errorf("metrics = %+v", l.Metrics())
+	}
+}

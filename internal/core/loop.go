@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"autoloop/internal/bus"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/sim"
 )
@@ -100,6 +101,13 @@ type Loop struct {
 	// Audit receives the decision trail (optional).
 	Audit *AuditLog
 
+	// Bus, when set, receives the loop's lifecycle envelopes — one per
+	// finding on "loop.<name>.finding", per planned action on
+	// "loop.<name>.plan", per veto on "loop.<name>.veto", and per executed
+	// result on "loop.<name>.execute" — batched into a single publish per
+	// tick. Deferred human-in-the-loop executions publish when they fire.
+	Bus *bus.Bus
+
 	// Clock schedules deferred executions (required for HumanInTheLoop).
 	Clock sim.Clock
 	// Rng drives the human model (required for HumanInTheLoop).
@@ -107,6 +115,9 @@ type Loop struct {
 
 	enabled bool
 	metrics Metrics
+
+	inTick bool
+	events []bus.Envelope // per-tick event batch, reused across ticks
 }
 
 // NewLoop constructs a named loop with the given phases.
@@ -134,6 +145,37 @@ func (l *Loop) audit(now time.Duration, phase, format string, args ...interface{
 	}
 }
 
+// event queues one lifecycle envelope for the attached bus. Inside a tick
+// events accumulate and flush as one batch; outside (deferred executions)
+// they publish immediately.
+func (l *Loop) event(now time.Duration, kind string, payload interface{}) {
+	if l.Bus == nil {
+		return
+	}
+	env := bus.Envelope{Topic: "loop." + l.Name + "." + kind, Time: now, Source: l.Name, Payload: payload}
+	if l.inTick {
+		l.events = append(l.events, env)
+		return
+	}
+	l.Bus.Publish(env)
+}
+
+// flushEvents publishes the tick's accumulated event batch. The batch is
+// detached before dispatch so a handler that re-enters this loop cannot
+// double-publish it.
+func (l *Loop) flushEvents() {
+	l.inTick = false
+	if len(l.events) == 0 {
+		return
+	}
+	batch := l.events
+	l.events = nil
+	l.Bus.PublishBatch(batch)
+	if l.events == nil { // no re-entrant tick: reclaim the buffer
+		l.events = batch[:0]
+	}
+}
+
 // Tick runs one complete MAPE pass at virtual time now. Errors from phases
 // are audited and counted but do not abort the loop: an autonomy loop must
 // survive bad data.
@@ -142,6 +184,10 @@ func (l *Loop) Tick(now time.Duration) {
 		return
 	}
 	l.metrics.Ticks++
+	if l.Bus != nil {
+		l.inTick = true
+		defer l.flushEvents()
+	}
 	obs, err := l.M.Observe(now)
 	if err != nil {
 		l.metrics.Errors++
@@ -157,6 +203,7 @@ func (l *Loop) Tick(now time.Duration) {
 	l.metrics.Findings += len(sym.Findings)
 	for _, f := range sym.Findings {
 		l.audit(now, "analyze", "%s(%s)=%.4g conf=%.2f: %s", f.Kind, f.Subject, f.Value, f.Confidence, f.Detail)
+		l.event(now, "finding", f)
 	}
 	plan, err := l.P.Plan(now, sym)
 	if err != nil {
@@ -169,6 +216,7 @@ func (l *Loop) Tick(now time.Duration) {
 	for _, action := range plan.Actions {
 		l.audit(now, "plan", "%s(%s) amount=%.4g conf=%.2f: %s",
 			action.Kind, action.Subject, action.Amount, action.Confidence, action.Explanation)
+		l.event(now, "plan", action)
 		if res, executed := l.dispatch(now, action); executed {
 			outcome.Results = append(outcome.Results, res)
 		}
@@ -185,6 +233,7 @@ func (l *Loop) dispatch(now time.Duration, action Action) (ActionResult, bool) {
 		if err := g.Check(now, l.Name, action); err != nil {
 			l.metrics.VetoedActions++
 			l.audit(now, "veto", "%s(%s): %v", action.Kind, action.Subject, err)
+			l.event(now, "veto", action)
 			return ActionResult{}, false
 		}
 	}
@@ -211,7 +260,9 @@ func (l *Loop) execute(decidedAt, now time.Duration, action Action) ActionResult
 	if err != nil {
 		l.metrics.Errors++
 		l.audit(now, "error", "execute %s(%s): %v", action.Kind, action.Subject, err)
-		return ActionResult{Action: action, Detail: err.Error()}
+		failed := ActionResult{Action: action, Detail: err.Error()}
+		l.event(now, "execute", failed)
+		return failed
 	}
 	l.metrics.ExecutedActions++
 	l.metrics.DecisionLatency += now - decidedAt
@@ -220,6 +271,7 @@ func (l *Loop) execute(decidedAt, now time.Duration, action Action) ActionResult
 	}
 	l.audit(now, "execute", "%s(%s) honored=%v granted=%.4g %s",
 		action.Kind, action.Subject, res.Honored, res.Granted, res.Detail)
+	l.event(now, "execute", res)
 	return res
 }
 

@@ -57,8 +57,9 @@ func runF1(opt Options) *Result {
 	reg.Register(fs.Collector())
 	reg.Register(scheduler.Collector())
 	sample := 30 * time.Second
+	pipe := telemetry.NewPipeline(reg, db)
 	engine.Every(sample, sample, func() bool {
-		_ = db.AppendAll(reg.Gather(engine.Now()))
+		pipe.Sample(engine.Now())
 		return engine.Now() < horizon
 	})
 

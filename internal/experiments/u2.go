@@ -8,6 +8,7 @@ import (
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
 )
 
@@ -47,9 +48,9 @@ func runU2(opt Options) *Result {
 		db := tsdb.New(0)
 		fs := pfs.New(engine, pfs.Config{OSTs: 4, OSTBandwidthMBps: 100, DefaultStripeCount: 2})
 		kb := knowledge.NewBase()
-		col := fs.Collector()
+		pipe := telemetry.NewPipeline(telemetry.NewRegistryOf(fs.Collector()), db)
 		engine.Every(10*time.Second, 10*time.Second, func() bool {
-			_ = db.AppendAll(col.Collect(engine.Now()))
+			pipe.Sample(engine.Now())
 			return engine.Now() < horizon
 		})
 		tenants := []ioqoscase.Tenant{

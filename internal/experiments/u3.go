@@ -9,6 +9,7 @@ import (
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
+	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
 )
 
@@ -46,9 +47,9 @@ func runU3(opt Options) *Result {
 		runtime := app.NewRuntime(engine, db, fs, nil)
 		runtime.OnComplete = func(inst *app.Instance) { scheduler.JobFinished(inst.Job.ID) }
 		scheduler.SetHooks(runtime.Start, runtime.Kill)
-		col := fs.Collector()
+		pipe := telemetry.NewPipeline(telemetry.NewRegistryOf(fs.Collector()), db)
 		engine.Every(30*time.Second, 30*time.Second, func() bool {
-			_ = db.AppendAll(col.Collect(engine.Now()))
+			pipe.Sample(engine.Now())
 			return scheduler.QueueLen() > 0 || len(scheduler.Running()) > 0
 		})
 		var ctl *ostcase.Controller

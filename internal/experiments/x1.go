@@ -78,8 +78,9 @@ func runX1(opt Options) *Result {
 		var coolingWh float64
 		hottest := 0.0
 		violations := 0
+		pipe := telemetry.NewPipeline(reg, db)
 		engine.Every(30*time.Second, 30*time.Second, func() bool {
-			_ = db.AppendAll(reg.Gather(engine.Now()))
+			pipe.Sample(engine.Now())
 			coolingWh += plant.CoolingPowerW(engine.Now()) * 30 / 3600
 			for _, p := range db.Latest("node.temp.celsius", nil) {
 				if p.Value > hottest {

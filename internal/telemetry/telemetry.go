@@ -140,6 +140,15 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+// NewRegistryOf returns a registry pre-populated with cs, in order.
+func NewRegistryOf(cs ...Collector) *Registry {
+	r := NewRegistry()
+	for _, c := range cs {
+		r.Register(c)
+	}
+	return r
+}
+
 // Register adds c to the registry.
 func (r *Registry) Register(c Collector) {
 	if c == nil {
@@ -153,9 +162,14 @@ func (r *Registry) Size() int { return len(r.collectors) }
 
 // Gather collects from every registered collector in registration order.
 func (r *Registry) Gather(now time.Duration) []Point {
-	var pts []Point
+	return r.GatherInto(now, nil)
+}
+
+// GatherInto is Gather appending into buf, so steady-state sampling loops
+// can reuse one buffer across rounds instead of reallocating per sample.
+func (r *Registry) GatherInto(now time.Duration, buf []Point) []Point {
 	for _, c := range r.collectors {
-		pts = append(pts, c.Collect(now)...)
+		buf = append(buf, c.Collect(now)...)
 	}
-	return pts
+	return buf
 }

@@ -1,0 +1,67 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+func TestAppendBatchMatchesPerPointAppend(t *testing.T) {
+	batched := New(0)
+	perPoint := New(0)
+	var pts []telemetry.Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts,
+			telemetry.Point{Name: "a", Labels: telemetry.Labels{"n": "1"}, Time: time.Duration(i) * time.Second, Value: float64(i)},
+			telemetry.Point{Name: "b", Time: time.Duration(i) * time.Second, Value: float64(-i)},
+		)
+	}
+	if err := batched.AppendBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := perPoint.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.Appended() != perPoint.Appended() {
+		t.Errorf("Appended: batched %d, per-point %d", batched.Appended(), perPoint.Appended())
+	}
+	for _, name := range []string{"a", "b"} {
+		got := batched.Query(name, nil, 0, time.Hour)
+		want := perPoint.Query(name, nil, 0, time.Hour)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d series vs %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if len(got[i].Samples) != len(want[i].Samples) {
+				t.Fatalf("%s[%d]: %d samples vs %d", name, i, len(got[i].Samples), len(want[i].Samples))
+			}
+			for j := range got[i].Samples {
+				if got[i].Samples[j] != want[i].Samples[j] {
+					t.Fatalf("%s[%d][%d]: %v vs %v", name, i, j, got[i].Samples[j], want[i].Samples[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendBatchFirstErrorAttemptsAll(t *testing.T) {
+	db := New(0)
+	pts := []telemetry.Point{
+		{Name: "ok", Time: time.Second, Value: 1},
+		{Name: "", Time: time.Second, Value: 2}, // invalid: empty name
+		{Name: "ok", Time: 2 * time.Second, Value: 3},
+	}
+	if err := db.AppendBatch(pts); err == nil {
+		t.Fatal("want error for empty metric name")
+	}
+	s, ok := db.QueryOne("ok", nil, 0, time.Hour)
+	if !ok || len(s.Samples) != 2 {
+		t.Errorf("valid points not all appended: %+v", s)
+	}
+	if err := db.AppendBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// ingestBatch builds one sampling round: 32 nodes × 8 metrics, the shape of
+// a holistic monitoring sweep.
+func ingestBatch(t time.Duration) []telemetry.Point {
+	pts := make([]telemetry.Point, 0, 32*8)
+	for n := 0; n < 32; n++ {
+		labels := telemetry.Labels{"node": fmt.Sprintf("n%03d", n)}
+		for m := 0; m < 8; m++ {
+			pts = append(pts, telemetry.Point{
+				Name:   fmt.Sprintf("node.metric%d", m),
+				Labels: labels,
+				Time:   t,
+				Value:  float64(n * m),
+			})
+		}
+	}
+	return pts
+}
+
+// retime advances every point in the pre-built round to tick i, so the timed
+// loop measures ingestion, not batch construction.
+func retime(pts []telemetry.Point, i int) {
+	t := time.Duration(i) * time.Second
+	for j := range pts {
+		pts[j].Time = t
+	}
+}
+
+// BenchmarkTelemetryIngest measures one sampling round flowing into the
+// TSDB through the batched single-lock path.
+func BenchmarkTelemetryIngest(b *testing.B) {
+	db := New(time.Hour)
+	pts := ingestBatch(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retime(pts, i)
+		if err := db.AppendBatch(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryIngestPerPoint is the pre-batching baseline: one lock
+// round-trip per point.
+func BenchmarkTelemetryIngestPerPoint(b *testing.B) {
+	db := New(time.Hour)
+	pts := ingestBatch(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		retime(pts, i)
+		for _, p := range pts {
+			if err := db.Append(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -20,11 +20,18 @@ import (
 )
 
 // memSeries stores one (name, labels) identity's samples in time order.
+// Retention drops samples by advancing head; the dead prefix is compacted
+// only once it outgrows the live part, so expiry is O(1) amortized instead
+// of copying the whole window on every append.
 type memSeries struct {
 	name    string
 	labels  telemetry.Labels
 	samples []telemetry.Sample
+	head    int // index of the first live sample
 }
+
+// live returns the retained samples.
+func (s *memSeries) live() []telemetry.Sample { return s.samples[s.head:] }
 
 // DB is an in-memory time-series database. It is safe for concurrent use;
 // under the simulator all access is single-threaded, but cmd/modad serves
@@ -48,14 +55,20 @@ func New(retention time.Duration) *DB {
 // are rejected with an error; equal timestamps overwrite the tail value so
 // that idempotent re-collection is harmless.
 func (db *DB) Append(p telemetry.Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appendLocked(p)
+}
+
+// appendLocked is Append under an already-held write lock, so batch ingestion
+// pays for one lock round-trip per batch rather than per point.
+func (db *DB) appendLocked(p telemetry.Point) error {
 	if p.Name == "" {
 		return fmt.Errorf("tsdb: append with empty metric name")
 	}
 	if math.IsNaN(p.Value) {
 		return fmt.Errorf("tsdb: append NaN for %s%s", p.Name, p.Labels)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	families := db.byName[p.Name]
 	if families == nil {
 		families = make(map[string]*memSeries)
@@ -86,12 +99,18 @@ func (db *DB) Append(p telemetry.Point) error {
 	return nil
 }
 
-// AppendAll inserts every point, returning the first error encountered (but
-// attempting all points regardless).
-func (db *DB) AppendAll(pts []telemetry.Point) error {
+// AppendBatch inserts every point in one pass under a single lock
+// acquisition, returning the first error encountered (but attempting all
+// points regardless). It implements telemetry.Sink.
+func (db *DB) AppendBatch(pts []telemetry.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var first error
 	for _, p := range pts {
-		if err := db.Append(p); err != nil && first == nil {
+		if err := db.appendLocked(p); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -100,9 +119,16 @@ func (db *DB) AppendAll(pts []telemetry.Point) error {
 
 // truncateBefore drops samples strictly older than cutoff.
 func (s *memSeries) truncateBefore(cutoff time.Duration) {
-	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time >= cutoff })
-	if i > 0 {
-		s.samples = append(s.samples[:0], s.samples[i:]...)
+	live := s.live()
+	i := sort.Search(len(live), func(i int) bool { return live[i].Time >= cutoff })
+	if i == 0 {
+		return
+	}
+	s.head += i
+	if s.head > len(s.samples)-s.head {
+		n := copy(s.samples, s.samples[s.head:])
+		s.samples = s.samples[:n]
+		s.head = 0
 	}
 }
 
@@ -158,13 +184,14 @@ func (db *DB) Query(name string, matcher telemetry.Labels, from, to time.Duratio
 	var out []telemetry.Series
 	for _, k := range keys {
 		s := fams[k]
-		lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time >= from })
-		hi := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time > to })
+		live := s.live()
+		lo := sort.Search(len(live), func(i int) bool { return live[i].Time >= from })
+		hi := sort.Search(len(live), func(i int) bool { return live[i].Time > to })
 		if lo >= hi {
 			continue
 		}
 		cp := make([]telemetry.Sample, hi-lo)
-		copy(cp, s.samples[lo:hi])
+		copy(cp, live[lo:hi])
 		out = append(out, telemetry.Series{Name: name, Labels: s.labels.Clone(), Samples: cp})
 	}
 	return out
@@ -190,7 +217,7 @@ func (db *DB) Latest(name string, matcher telemetry.Labels) []telemetry.Point {
 	}
 	keys := make([]string, 0, len(fams))
 	for k, s := range fams {
-		if s.labels.Matches(matcher) && len(s.samples) > 0 {
+		if s.labels.Matches(matcher) && len(s.live()) > 0 {
 			keys = append(keys, k)
 		}
 	}
@@ -198,7 +225,8 @@ func (db *DB) Latest(name string, matcher telemetry.Labels) []telemetry.Point {
 	out := make([]telemetry.Point, 0, len(keys))
 	for _, k := range keys {
 		s := fams[k]
-		last := s.samples[len(s.samples)-1]
+		live := s.live()
+		last := live[len(live)-1]
 		out = append(out, telemetry.Point{Name: name, Labels: s.labels.Clone(), Time: last.Time, Value: last.Value})
 	}
 	return out
