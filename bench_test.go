@@ -49,3 +49,6 @@ func BenchmarkExpA4Continual(b *testing.B)  { benchExperiment(b, "EXP-A4") }
 
 // §IV extension: the power/energy control loop.
 func BenchmarkExpX1Power(b *testing.B) { benchExperiment(b, "EXP-X1") }
+
+// Fleet extension: concurrent loops with cross-loop conflict arbitration.
+func BenchmarkExpC1Fleet(b *testing.B) { benchExperiment(b, "EXP-C1") }

@@ -21,8 +21,11 @@ import (
 
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
+	"autoloop/internal/cases/ostcase"
+	"autoloop/internal/cases/powercase"
 	"autoloop/internal/cluster"
 	"autoloop/internal/facility"
+	"autoloop/internal/fleet"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -60,6 +63,22 @@ func main() {
 	// out on the bus — a single ingest pass and a single PublishBatch per
 	// sampling round, with each point on "telemetry.<name>".
 	pipe := telemetry.NewPipeline(reg, db).PublishTo(b, "modad")
+
+	// The response side: the pipeline drives a fleet coordinator (one round
+	// every 2nd sample = every virtual minute) running the power and OST
+	// loops concurrently. Their lifecycle envelopes ("loop.<name>.*") and
+	// the coordinator's round summaries ("fleet.round", "fleet.conflict")
+	// travel the same bus as the telemetry.
+	power := powercase.New(powercase.DefaultConfig(), db, plant)
+	ost := ostcase.New(ostcase.DefaultConfig(), db, scheduler, runtime)
+	powerLoop, ostLoop := power.Loop(), ost.Loop()
+	powerLoop.Bus = b
+	ostLoop.Bus = b
+	coord := fleet.New(0).PublishTo(b, "modad")
+	coord.Add(powerLoop, powercase.FleetPriority)
+	coord.Add(ostLoop, ostcase.FleetPriority)
+	pipe.Drive(coord, 2)
+
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
 		pipe.Sample(engine.Now())
 		return true
@@ -79,13 +98,13 @@ func main() {
 		}
 	}
 
-	srv, err := bus.NewServer(*addr, "telemetry.*", b)
+	srv, err := bus.NewServer(*addr, "*", b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "modad:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("modad: serving telemetry envelopes on %s (speed %dx)\n", srv.Addr(), *speed)
+	fmt.Printf("modad: serving telemetry, loop, and fleet envelopes on %s (speed %dx)\n", srv.Addr(), *speed)
 
 	// Drive the simulation against the wall clock.
 	start := time.Now()
@@ -98,5 +117,7 @@ func main() {
 		}
 		engine.RunUntil(time.Duration(int64(wall) * int64(*speed)))
 	}
-	fmt.Printf("modad: done; %d series, %d samples stored\n", db.NumSeries(), db.Appended())
+	cm := coord.Metrics()
+	fmt.Printf("modad: done; %d series, %d samples stored; fleet ran %d rounds (%d actions, %d arbitrated)\n",
+		db.NumSeries(), db.Appended(), cm.Rounds, cm.Planned, cm.Arbitrated)
 }

@@ -14,8 +14,12 @@ import (
 
 	"autoloop/internal/analytics"
 	"autoloop/internal/app"
+	"autoloop/internal/bus"
+	"autoloop/internal/cases/ostcase"
+	"autoloop/internal/cases/powercase"
 	"autoloop/internal/cluster"
 	"autoloop/internal/facility"
+	"autoloop/internal/fleet"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -46,6 +50,24 @@ func main() {
 	reg.Register(fs.Collector())
 	reg.Register(scheduler.Collector())
 	pipe := telemetry.NewPipeline(reg, db)
+
+	// --- autonomous response: a fleet of loops under one coordinator ---
+	// The monitoring pipeline drives the coordinator (a round every 2nd
+	// sample = every minute): the power loop manages cooling energy under
+	// the thermal limit, the OST loop steers applications off degraded
+	// storage, and the coordinator's arbiter would resolve any same-subject
+	// conflict between them by priority.
+	b := bus.New()
+	power := powercase.New(powercase.DefaultConfig(), db, plant)
+	ost := ostcase.New(ostcase.DefaultConfig(), db, scheduler, runtime)
+	powerLoop, ostLoop := power.Loop(), ost.Loop()
+	powerLoop.Bus = b
+	ostLoop.Bus = b
+	coord := fleet.New(0).PublishTo(b, "holistic")
+	coord.Add(powerLoop, powercase.FleetPriority)
+	coord.Add(ostLoop, ostcase.FleetPriority)
+	pipe.Drive(coord, 2)
+
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
 		pipe.Sample(engine.Now())
 		return engine.Now() < 4*time.Hour
@@ -121,6 +143,11 @@ func main() {
 	for what, when := range found {
 		fmt.Printf("   %-42s at %v\n", what, when)
 	}
+	cm := coord.Metrics()
+	fmt.Printf("  fleet: %d rounds, %d actions planned, %d conflicts arbitrated\n",
+		cm.Rounds, cm.Planned, cm.Arbitrated)
+	fmt.Printf("   power loop: %d raises, %d lowers; ost loop: %d reopens (avoiding %v)\n",
+		power.Raises, power.Lowers, ost.Responses, ost.Avoided())
 
 	// The Fig. 1 "Visualize" box: sparkline each domain's headline signal.
 	fmt.Println("\n  visualize (4h of operation, one anomaly per domain):")

@@ -34,6 +34,11 @@ type Envelope struct {
 	Time    time.Duration `json:"time"`
 	Source  string        `json:"source,omitempty"`
 	Payload interface{}   `json:"payload,omitempty"`
+	// Deadline, when positive, is the virtual time at which the envelope's
+	// content stops being actionable (a stale telemetry point, a superseded
+	// round summary). The bus drops already-expired envelopes at publish
+	// time; see deadline.go.
+	Deadline time.Duration `json:"deadline,omitempty"`
 }
 
 // Handler consumes envelopes published to a subscribed topic.
@@ -74,6 +79,7 @@ type Bus struct {
 
 	published atomic.Uint64
 	delivered atomic.Uint64
+	expired   atomic.Uint64
 }
 
 // New returns an empty bus.
@@ -278,9 +284,15 @@ func (b *Bus) collectLocked(topic string) []Handler {
 }
 
 // Publish delivers env to all matching subscribers in subscription order.
+// An envelope already past its deadline at its own publish time is dropped
+// (counted by ExpiredDropped), not delivered.
 func (b *Bus) Publish(env Envelope) {
 	if env.Topic == "" {
 		panic("bus: Publish with empty topic")
+	}
+	if env.Expired(env.Time) {
+		b.expired.Add(1)
+		return
 	}
 	b.mu.RLock()
 	matched := b.collectLocked(env.Topic)
@@ -315,9 +327,13 @@ func (b *Bus) PublishBatch(envs []Envelope) {
 	var lastTopic string
 	var lastHandlers []Handler
 	have := false
-	total := 0
+	total, dropped := 0, 0
 	b.mu.RLock()
 	for i := range envs {
+		if envs[i].Expired(envs[i].Time) {
+			dropped++
+			continue
+		}
 		if !have || envs[i].Topic != lastTopic {
 			lastTopic = envs[i].Topic
 			lastHandlers = b.collectLocked(lastTopic)
@@ -328,8 +344,9 @@ func (b *Bus) PublishBatch(envs []Envelope) {
 	}
 	b.mu.RUnlock()
 
-	b.published.Add(uint64(len(envs)))
+	b.published.Add(uint64(len(envs) - dropped))
 	b.delivered.Add(uint64(total))
+	b.expired.Add(uint64(dropped))
 	for i, env := range envs {
 		for _, h := range plans[i] {
 			h(env)
@@ -341,6 +358,10 @@ func (b *Bus) PublishBatch(envs []Envelope) {
 func (b *Bus) Stats() (published, delivered uint64) {
 	return b.published.Load(), b.delivered.Load()
 }
+
+// ExpiredDropped reports how many envelopes were dropped at publish time
+// because their deadline had already passed.
+func (b *Bus) ExpiredDropped() uint64 { return b.expired.Load() }
 
 // Topics returns the sorted set of currently subscribed patterns, for
 // diagnostics.

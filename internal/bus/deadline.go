@@ -6,3 +6,11 @@ import "time"
 const writeTimeout = 2 * time.Second
 
 func deadline() time.Time { return time.Now().Add(writeTimeout) }
+
+// Expired reports whether the envelope's deadline has passed at virtual time
+// now. A zero (or negative) deadline means the envelope never expires.
+// Publish and PublishBatch are the expiry enforcement points: both drop
+// envelopes already expired at their own publish time.
+func (e Envelope) Expired(now time.Duration) bool {
+	return e.Deadline > 0 && now >= e.Deadline
+}

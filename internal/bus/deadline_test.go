@@ -1,0 +1,81 @@
+package bus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEnvelopeExpired(t *testing.T) {
+	cases := []struct {
+		name     string
+		deadline time.Duration
+		now      time.Duration
+		want     bool
+	}{
+		{"zero deadline never expires", 0, 0, false},
+		{"zero deadline never expires late", 0, 24 * time.Hour, false},
+		{"negative deadline never expires", -time.Second, time.Hour, false},
+		{"before deadline", time.Minute, 59 * time.Second, false},
+		{"exactly at deadline", time.Minute, time.Minute, true},
+		{"past deadline", time.Minute, 2 * time.Minute, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := Envelope{Topic: "t", Deadline: tc.deadline}
+			if got := e.Expired(tc.now); got != tc.want {
+				t.Errorf("Expired(%v) with deadline %v = %v, want %v", tc.now, tc.deadline, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPublishDropsExpiredEnvelopes(t *testing.T) {
+	cases := []struct {
+		name          string
+		env           Envelope
+		wantDelivered int
+	}{
+		{"zero deadline delivered", Envelope{Topic: "t", Time: time.Hour}, 1},
+		{"live deadline delivered", Envelope{Topic: "t", Time: time.Minute, Deadline: 2 * time.Minute}, 1},
+		{"already expired dropped", Envelope{Topic: "t", Time: 2 * time.Minute, Deadline: time.Minute}, 0},
+		{"expired exactly at publish dropped", Envelope{Topic: "t", Time: time.Minute, Deadline: time.Minute}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New()
+			got := 0
+			b.Subscribe("t", func(Envelope) { got++ })
+			b.Publish(tc.env)
+			if got != tc.wantDelivered {
+				t.Errorf("delivered %d, want %d", got, tc.wantDelivered)
+			}
+			wantExpired := uint64(1 - tc.wantDelivered)
+			if b.ExpiredDropped() != wantExpired {
+				t.Errorf("ExpiredDropped = %d, want %d", b.ExpiredDropped(), wantExpired)
+			}
+			if pub, _ := b.Stats(); pub != uint64(tc.wantDelivered) {
+				t.Errorf("published = %d, want %d", pub, tc.wantDelivered)
+			}
+		})
+	}
+}
+
+func TestPublishBatchDropsExpiredEnvelopes(t *testing.T) {
+	b := New()
+	var got []string
+	b.Subscribe("*", func(e Envelope) { got = append(got, e.Topic) })
+	b.PublishBatch([]Envelope{
+		{Topic: "a", Time: time.Minute},
+		{Topic: "b", Time: time.Minute, Deadline: 30 * time.Second}, // already expired
+		{Topic: "a", Time: time.Minute, Deadline: 2 * time.Minute},
+	})
+	if len(got) != 2 || got[0] != "a" || got[1] != "a" {
+		t.Fatalf("delivered topics = %v, want [a a]", got)
+	}
+	if b.ExpiredDropped() != 1 {
+		t.Errorf("ExpiredDropped = %d, want 1", b.ExpiredDropped())
+	}
+	if pub, del := b.Stats(); pub != 2 || del != 2 {
+		t.Errorf("stats = %d, %d; want 2, 2", pub, del)
+	}
+}

@@ -1,0 +1,36 @@
+package ostcase
+
+import (
+	"testing"
+	"time"
+
+	"autoloop/internal/fleet"
+	"autoloop/internal/sim"
+)
+
+// TestDetectsAndAvoidsUnderFleetCoordinator converts the case to the
+// concurrent fleet coordinator: the degraded-OST response must fire exactly
+// as it does with direct ticking.
+func TestDetectsAndAvoidsUnderFleetCoordinator(t *testing.T) {
+	r := newRig(t, 8)
+	r.ioApp(t, "writer", 8)
+	coord := fleet.New(0)
+	coord.Add(r.ctl.Loop(), FleetPriority)
+	coord.RunEvery(sim.VirtualClock{Engine: r.e}, time.Minute, nil)
+
+	r.e.RunUntil(20 * time.Minute)
+	if r.ctl.Responses != 0 {
+		t.Fatalf("false positive: %d responses during healthy phase", r.ctl.Responses)
+	}
+	if err := r.fs.SetOSTHealth(3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	r.e.RunUntil(60 * time.Minute)
+	if r.ctl.Responses != 1 {
+		t.Fatalf("Responses = %d, want 1", r.ctl.Responses)
+	}
+	avoided := r.ctl.Avoided()
+	if len(avoided) != 1 || avoided[0] != 3 {
+		t.Fatalf("Avoided = %v, want [3]", avoided)
+	}
+}

@@ -23,6 +23,11 @@ import (
 	"autoloop/internal/tsdb"
 )
 
+// FleetPriority is the case's recommended arbitration priority under a
+// fleet coordinator: storage avoidance is remedial but not safety-critical,
+// so it yields to facility-domain loops on a shared subject.
+const FleetPriority = 10
+
 // Config tunes the OST loop.
 type Config struct {
 	// Threshold is the MAD multiple beyond which an OST is an outlier.

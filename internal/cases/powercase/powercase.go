@@ -22,6 +22,11 @@ import (
 	"autoloop/internal/tsdb"
 )
 
+// FleetPriority is the case's recommended arbitration priority under a
+// fleet coordinator: facility-domain thermal safety outranks workload-side
+// loops, so on a shared subject this loop's actions win cross-loop conflicts.
+const FleetPriority = 20
+
 // Config tunes the power loop.
 type Config struct {
 	// TempLimitC is the component temperature that must never be exceeded.

@@ -60,15 +60,16 @@ func DefaultHumanModel() HumanModel {
 
 // Metrics counts loop activity.
 type Metrics struct {
-	Ticks           int
-	Findings        int
-	PlannedActions  int
-	ExecutedActions int
-	HonoredActions  int
-	VetoedActions   int
-	DeferredActions int // human-in-the-loop: waiting for approval
-	DroppedActions  int // human absent, no contingency
-	Errors          int
+	Ticks             int
+	Findings          int
+	PlannedActions    int
+	ExecutedActions   int
+	HonoredActions    int
+	VetoedActions     int
+	ArbitratedActions int // lost a cross-loop conflict to a fleet arbiter
+	DeferredActions   int // human-in-the-loop: waiting for approval
+	DroppedActions    int // human absent, no contingency
+	Errors            int
 
 	// DecisionLatency accumulates time from symptom to execution (nonzero
 	// only for deferred human-in-the-loop executions and pattern plan
@@ -103,7 +104,8 @@ type Loop struct {
 
 	// Bus, when set, receives the loop's lifecycle envelopes — one per
 	// finding on "loop.<name>.finding", per planned action on
-	// "loop.<name>.plan", per veto on "loop.<name>.veto", and per executed
+	// "loop.<name>.plan", per veto on "loop.<name>.veto", per action lost to
+	// cross-loop arbitration on "loop.<name>.arbitrated", and per executed
 	// result on "loop.<name>.execute" — batched into a single publish per
 	// tick. Deferred human-in-the-loop executions publish when they fire.
 	Bus *bus.Bus
@@ -180,49 +182,164 @@ func (l *Loop) flushEvents() {
 // are audited and counted but do not abort the loop: an autonomy loop must
 // survive bad data.
 func (l *Loop) Tick(now time.Duration) {
-	if !l.enabled {
+	l.ExecutePlanned(l.PlanTick(now))
+}
+
+// bufferedEvent is one bus lifecycle event captured during PlanTick, replayed
+// by ExecutePlanned in deterministic order.
+type bufferedEvent struct {
+	kind    string
+	payload interface{}
+}
+
+// PlannedTick is the output of the Plan half of a two-phase tick: the
+// Monitor/Analyze/Plan phases have run, but no action has been dispatched and
+// no audit entry or bus event has been emitted yet — those are buffered so
+// that PlanTick may run on a worker goroutine while ExecutePlanned replays
+// them deterministically. A fleet coordinator arbitrates between the two
+// halves by calling Arbitrate on actions that lose a cross-loop conflict.
+type PlannedTick struct {
+	loop    *Loop
+	now     time.Duration
+	skipped bool // loop disabled: the execute half is a no-op
+	failed  bool // a MAPE phase errored: the execute half only flushes buffers
+
+	plan     Plan
+	lost     []string // lost[i] != "" marks action i arbitrated away, with the reason
+	preAudit []AuditEntry
+	preEvent []bufferedEvent
+}
+
+// Actions exposes the planned actions for arbitration. The slice is shared
+// with the pending execute half and must not be mutated.
+func (pt *PlannedTick) Actions() []Action { return pt.plan.Actions }
+
+// Time returns the virtual time the plan half ran at.
+func (pt *PlannedTick) Time() time.Duration { return pt.now }
+
+// Arbitrate marks action i as lost to a cross-loop conflict: ExecutePlanned
+// will audit and publish it as arbitrated instead of dispatching it.
+func (pt *PlannedTick) Arbitrate(i int, reason string) {
+	if i < 0 || i >= len(pt.plan.Actions) {
+		panic(fmt.Sprintf("core: Arbitrate index %d out of range (%d actions)", i, len(pt.plan.Actions)))
+	}
+	if pt.lost == nil {
+		pt.lost = make([]string, len(pt.plan.Actions))
+	}
+	if reason == "" {
+		reason = "lost cross-loop arbitration"
+	}
+	pt.lost[i] = reason
+}
+
+// bufAuditf captures one audit entry for deterministic replay, formatting
+// eagerly so the cost lands on the (parallel) plan half.
+func (pt *PlannedTick) bufAuditf(phase, format string, args ...interface{}) {
+	if pt.loop.Audit == nil {
 		return
 	}
-	l.metrics.Ticks++
-	if l.Bus != nil {
-		l.inTick = true
-		defer l.flushEvents()
+	pt.preAudit = append(pt.preAudit, AuditEntry{
+		Time: pt.now, Loop: pt.loop.Name, Phase: phase, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// bufEvent captures one lifecycle event for deterministic replay.
+func (pt *PlannedTick) bufEvent(kind string, payload interface{}) {
+	if pt.loop.Bus == nil {
+		return
 	}
+	pt.preEvent = append(pt.preEvent, bufferedEvent{kind: kind, payload: payload})
+}
+
+// PlanTick runs the Monitor, Analyze, and Plan phases at virtual time now and
+// returns the pending execute half. It touches only loop-local state plus the
+// (read-only) Monitor/Analyze/Plan phases, so a coordinator may run many
+// loops' PlanTicks concurrently; audit entries and bus events are buffered
+// inside the PlannedTick and replayed by ExecutePlanned.
+func (l *Loop) PlanTick(now time.Duration) *PlannedTick {
+	pt := &PlannedTick{loop: l, now: now}
+	if !l.enabled {
+		pt.skipped = true
+		return pt
+	}
+	l.metrics.Ticks++
 	obs, err := l.M.Observe(now)
 	if err != nil {
 		l.metrics.Errors++
-		l.audit(now, "error", "monitor: %v", err)
-		return
+		pt.bufAuditf("error", "monitor: %v", err)
+		pt.failed = true
+		return pt
 	}
 	sym, err := l.A.Analyze(now, obs)
 	if err != nil {
 		l.metrics.Errors++
-		l.audit(now, "error", "analyze: %v", err)
-		return
+		pt.bufAuditf("error", "analyze: %v", err)
+		pt.failed = true
+		return pt
 	}
 	l.metrics.Findings += len(sym.Findings)
 	for _, f := range sym.Findings {
-		l.audit(now, "analyze", "%s(%s)=%.4g conf=%.2f: %s", f.Kind, f.Subject, f.Value, f.Confidence, f.Detail)
-		l.event(now, "finding", f)
+		pt.bufAuditf("analyze", "%s(%s)=%.4g conf=%.2f: %s", f.Kind, f.Subject, f.Value, f.Confidence, f.Detail)
+		pt.bufEvent("finding", f)
 	}
 	plan, err := l.P.Plan(now, sym)
 	if err != nil {
 		l.metrics.Errors++
-		l.audit(now, "error", "plan: %v", err)
-		return
+		pt.bufAuditf("error", "plan: %v", err)
+		pt.failed = true
+		return pt
 	}
 	l.metrics.PlannedActions += len(plan.Actions)
+	pt.plan = plan
+	return pt
+}
+
+// ExecutePlanned runs the Execute half of a two-phase tick: it replays the
+// buffered audit entries and events, dispatches every surviving action
+// through guardrails and the operating mode, skips arbitrated ones, and runs
+// Assess. It must be called from a single goroutine — under a fleet
+// coordinator, serially in registration order after the round barrier, which
+// is what keeps concurrent rounds deterministic.
+func (l *Loop) ExecutePlanned(pt *PlannedTick) {
+	if pt == nil || pt.skipped {
+		return
+	}
+	if pt.loop != l {
+		panic("core: ExecutePlanned with another loop's PlannedTick")
+	}
+	now := pt.now
+	if l.Bus != nil {
+		l.inTick = true
+		defer l.flushEvents()
+	}
+	if l.Audit != nil {
+		for _, e := range pt.preAudit {
+			l.Audit.Append(e)
+		}
+	}
+	for _, ev := range pt.preEvent {
+		l.event(now, ev.kind, ev.payload)
+	}
+	if pt.failed {
+		return
+	}
 	outcome := Outcome{Time: now}
-	for _, action := range plan.Actions {
+	for i, action := range pt.plan.Actions {
 		l.audit(now, "plan", "%s(%s) amount=%.4g conf=%.2f: %s",
 			action.Kind, action.Subject, action.Amount, action.Confidence, action.Explanation)
 		l.event(now, "plan", action)
+		if pt.lost != nil && pt.lost[i] != "" {
+			l.metrics.ArbitratedActions++
+			l.audit(now, "arbitrate", "%s(%s): %s", action.Kind, action.Subject, pt.lost[i])
+			l.event(now, "arbitrated", action)
+			continue
+		}
 		if res, executed := l.dispatch(now, action); executed {
 			outcome.Results = append(outcome.Results, res)
 		}
 	}
 	if l.Assess != nil {
-		l.Assess.Assess(now, plan, outcome)
+		l.Assess.Assess(now, pt.plan, outcome)
 	}
 }
 
@@ -312,16 +429,5 @@ func (l *Loop) deferToHuman(now time.Duration, action Action) {
 // RunEvery schedules the loop to tick on clock every period until stop
 // returns true (stop may be nil for "run forever").
 func (l *Loop) RunEvery(clock sim.Clock, period time.Duration, stop func() bool) {
-	if period <= 0 {
-		panic(fmt.Sprintf("core: loop %s needs a positive period", l.Name))
-	}
-	var tick func()
-	tick = func() {
-		if stop != nil && stop() {
-			return
-		}
-		l.Tick(clock.Now())
-		clock.AfterFunc(period, tick)
-	}
-	clock.AfterFunc(period, tick)
+	sim.TickEvery(clock, period, stop, l.Tick)
 }

@@ -149,18 +149,7 @@ func (m *MasterWorker) Tick(now time.Duration) {
 
 // RunEvery schedules the master on clock every period.
 func (m *MasterWorker) RunEvery(clock sim.Clock, period time.Duration, stop func() bool) {
-	if period <= 0 {
-		panic("core: master-worker needs a positive period")
-	}
-	var tick func()
-	tick = func() {
-		if stop != nil && stop() {
-			return
-		}
-		m.Tick(clock.Now())
-		clock.AfterFunc(period, tick)
-	}
-	clock.AfterFunc(period, tick)
+	sim.TickEvery(clock, period, stop, m.Tick)
 }
 
 // IntentBoard is the peer-coordination medium of the fully decentralized
@@ -248,18 +237,7 @@ func (c *Coordinated) Tick(now time.Duration) {
 
 // RunEvery schedules all member loops on one cadence.
 func (c *Coordinated) RunEvery(clock sim.Clock, period time.Duration, stop func() bool) {
-	if period <= 0 {
-		panic("core: coordinated pattern needs a positive period")
-	}
-	var tick func()
-	tick = func() {
-		if stop != nil && stop() {
-			return
-		}
-		c.Tick(clock.Now())
-		clock.AfterFunc(period, tick)
-	}
-	clock.AfterFunc(period, tick)
+	sim.TickEvery(clock, period, stop, c.Tick)
 }
 
 // Hierarchical is the hierarchical control pattern: fast child loops manage
@@ -303,18 +281,7 @@ func (h *Hierarchical) Tick(now time.Duration) {
 
 // RunEvery schedules the hierarchy on the child cadence.
 func (h *Hierarchical) RunEvery(clock sim.Clock, period time.Duration, stop func() bool) {
-	if period <= 0 {
-		panic("core: hierarchical pattern needs a positive period")
-	}
-	var tick func()
-	tick = func() {
-		if stop != nil && stop() {
-			return
-		}
-		h.Tick(clock.Now())
-		clock.AfterFunc(period, tick)
-	}
-	clock.AfterFunc(period, tick)
+	sim.TickEvery(clock, period, stop, h.Tick)
 }
 
 // PatternName identifies a Fig. 2 design pattern in experiment tables.

@@ -9,7 +9,7 @@ func quickOpt() Options { return Options{Seed: 1, Quick: true} }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"EXP-A1", "EXP-A2", "EXP-A3", "EXP-A4",
+		"EXP-A1", "EXP-A2", "EXP-A3", "EXP-A4", "EXP-C1",
 		"EXP-F1", "EXP-F2a", "EXP-F2b", "EXP-F2c", "EXP-F3", "EXP-F3b",
 		"EXP-U1", "EXP-U2", "EXP-U3", "EXP-U4", "EXP-X1",
 	}

@@ -6,6 +6,7 @@ import (
 
 	"autoloop/internal/app"
 	"autoloop/internal/cases/ostcase"
+	"autoloop/internal/fleet"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -55,7 +56,9 @@ func runU3(opt Options) *Result {
 		var ctl *ostcase.Controller
 		if withLoop {
 			ctl = ostcase.New(ostcase.DefaultConfig(), db, scheduler, runtime)
-			ctl.Loop().RunEvery(sim.VirtualClock{Engine: engine}, time.Minute,
+			coord := fleet.New(0)
+			coord.Add(ctl.Loop(), ostcase.FleetPriority)
+			coord.RunEvery(sim.VirtualClock{Engine: engine}, time.Minute,
 				func() bool { return len(scheduler.Running()) == 0 && scheduler.QueueLen() == 0 })
 		}
 		var jobs []*sched.Job

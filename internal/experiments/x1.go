@@ -8,6 +8,7 @@ import (
 	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
+	"autoloop/internal/fleet"
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
@@ -101,7 +102,12 @@ func runX1(opt Options) *Result {
 			if v.gate > 0 {
 				loop.Guards = []core.Guardrail{core.ConfidenceGate{Min: v.gate}}
 			}
-			loop.RunEvery(sim.VirtualClock{Engine: engine}, 5*time.Minute,
+			// The loop runs under a fleet coordinator — same cadence, same
+			// results (the coordinator's round is deterministic), and the
+			// scenario is ready to take more facility-domain loops.
+			coord := fleet.New(0)
+			coord.Add(loop, powercase.FleetPriority)
+			coord.RunEvery(sim.VirtualClock{Engine: engine}, 5*time.Minute,
 				func() bool { return engine.Now() >= horizon })
 		}
 		engine.RunUntil(horizon)

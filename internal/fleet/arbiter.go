@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+
+	"autoloop/internal/core"
+)
+
+// ConflictRecord describes one arbitrated subject in one round: the action
+// that won and the actions that lost to it. It is the payload published on
+// TopicConflict.
+type ConflictRecord struct {
+	Subject string   `json:"subject"`
+	Winner  string   `json:"winner"` // "loop/kind"
+	Losers  []string `json:"losers"` // "loop/kind" each
+}
+
+// Arbiter resolves cross-loop conflicts among the actions planned in one
+// round. Two actions conflict when they come from different loops, target the
+// same subject, and the conflict policy says they contradict (by default,
+// when their kinds differ — two loops independently planning the same kind of
+// action on a subject is redundancy, not contradiction). Within a conflicting
+// subject group one winner is chosen by kind rank first, then loop priority,
+// then registration order; every action conflicting with the winner loses and
+// is marked arbitrated on its loop.
+type Arbiter struct {
+	kindRank  map[string]int
+	conflicts func(a, b core.Action) bool
+}
+
+// NewArbiter returns an arbiter with no kind ranks and the default conflict
+// policy.
+func NewArbiter() *Arbiter {
+	return &Arbiter{kindRank: make(map[string]int), conflicts: DefaultConflictPolicy}
+}
+
+// DefaultConflictPolicy reports a contradiction when two same-subject actions
+// from different loops carry different kinds.
+func DefaultConflictPolicy(a, b core.Action) bool { return a.Kind != b.Kind }
+
+// RankKind declares that actions of this kind dominate lower-ranked kinds on
+// the same subject regardless of loop priority — e.g. ranking "cap" above
+// "boost" lets a power-cap loop's cap beat a scheduler loop's boost even when
+// the scheduler loop registered with higher priority. Unranked kinds rank 0;
+// higher ranks win.
+func (a *Arbiter) RankKind(kind string, rank int) *Arbiter {
+	a.kindRank[kind] = rank
+	return a
+}
+
+// SetConflictPolicy replaces the conflict predicate. The policy is consulted
+// only for same-subject actions from different loops.
+func (a *Arbiter) SetConflictPolicy(f func(x, y core.Action) bool) {
+	if f == nil {
+		panic("fleet: SetConflictPolicy with nil policy")
+	}
+	a.conflicts = f
+}
+
+// candidate is one planned action located in the round's plan set.
+type candidate struct {
+	mi, ai int // member index, action index within its plan
+	act    core.Action
+}
+
+// resolve arbitrates one round: it groups the planned actions by subject,
+// picks a winner per contested group, marks every conflicting loser on its
+// PlannedTick, and returns the conflict records in deterministic
+// (first-subject-appearance) order.
+func (a *Arbiter) resolve(members []member, plans []*core.PlannedTick) []ConflictRecord {
+	var order []string
+	bySubject := make(map[string][]candidate)
+	multiLoop := make(map[string]bool)
+	for mi, pt := range plans {
+		for ai, act := range pt.Actions() {
+			if act.Subject == "" {
+				continue
+			}
+			group := bySubject[act.Subject]
+			if group == nil {
+				order = append(order, act.Subject)
+			} else if group[0].mi != mi {
+				multiLoop[act.Subject] = true
+			}
+			bySubject[act.Subject] = append(group, candidate{mi: mi, ai: ai, act: act})
+		}
+	}
+
+	var records []ConflictRecord
+	for _, subject := range order {
+		if !multiLoop[subject] {
+			continue // a loop never conflicts with itself
+		}
+		group := bySubject[subject]
+		win := group[0]
+		for _, cand := range group[1:] {
+			if a.beats(members, cand, win) {
+				win = cand
+			}
+		}
+		var losers []string
+		for _, cand := range group {
+			if cand.mi == win.mi || !a.conflicts(cand.act, win.act) {
+				continue
+			}
+			loserLoop := members[cand.mi].loop
+			winnerLoop := members[win.mi].loop
+			plans[cand.mi].Arbitrate(cand.ai, fmt.Sprintf(
+				"lost %s to %s/%s (kind rank %d vs %d, priority %d vs %d)",
+				subject, winnerLoop.Name, win.act.Kind,
+				a.kindRank[cand.act.Kind], a.kindRank[win.act.Kind],
+				members[cand.mi].priority, members[win.mi].priority))
+			losers = append(losers, loserLoop.Name+"/"+cand.act.Kind)
+		}
+		if len(losers) > 0 {
+			records = append(records, ConflictRecord{
+				Subject: subject,
+				Winner:  members[win.mi].loop.Name + "/" + win.act.Kind,
+				Losers:  losers,
+			})
+		}
+	}
+	return records
+}
+
+// beats reports whether candidate x wins over the current winner y: higher
+// kind rank first, then higher loop priority; ties keep y (earlier
+// registration, then earlier plan position, wins).
+func (a *Arbiter) beats(members []member, x, y candidate) bool {
+	rx, ry := a.kindRank[x.act.Kind], a.kindRank[y.act.Kind]
+	if rx != ry {
+		return rx > ry
+	}
+	return members[x.mi].priority > members[y.mi].priority
+}

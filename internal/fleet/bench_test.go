@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"autoloop/internal/core"
+)
+
+// analyticLoop models a realistic ODA loop: its Analyze phase does genuine
+// numeric work (robust statistics over a telemetry window), which is where a
+// fleet's tick time concentrates and what the concurrent plan phase
+// parallelizes.
+func analyticLoop(i, window int) *core.Loop {
+	series := make([]float64, window)
+	for j := range series {
+		series[j] = math.Sin(float64(i+j)/17) + float64(j%13)*0.1
+	}
+	return core.NewLoop(fmt.Sprintf("oda%04d", i),
+		core.MonitorFunc(func(now time.Duration) (core.Observation, error) {
+			return core.Observation{Time: now}, nil
+		}),
+		core.AnalyzerFunc(func(now time.Duration, obs core.Observation) (core.Symptoms, error) {
+			// Mean, variance, and EWMA residual sweeps at several smoothing
+			// horizons over the window — the multi-scale residual scan a
+			// drift detector runs.
+			var sum, sumSq float64
+			for _, v := range series {
+				sum += v
+				sumSq += v * v
+			}
+			n := float64(len(series))
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			resid := 0.0
+			for _, alpha := range [...]float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+				ewma := series[0]
+				for _, v := range series[1:] {
+					ewma = (1-alpha)*ewma + alpha*v
+					d := v - ewma
+					resid += d * d
+				}
+			}
+			sym := core.Symptoms{Time: now}
+			if resid > variance { // always true for this synthetic series
+				sym.Findings = append(sym.Findings, core.Finding{
+					Kind: "drift", Subject: fmt.Sprintf("n%03d", i%64), Value: resid, Confidence: 1,
+				})
+			}
+			return sym, nil
+		}),
+		core.PlannerFunc(func(now time.Duration, sym core.Symptoms) (core.Plan, error) {
+			plan := core.Plan{Time: now}
+			for _, f := range sym.Findings {
+				plan.Actions = append(plan.Actions, core.Action{
+					Kind: "retune", Subject: f.Subject, Amount: f.Value, Confidence: f.Confidence,
+				})
+			}
+			return plan, nil
+		}),
+		core.ExecutorFunc(func(now time.Duration, a core.Action) (core.ActionResult, error) {
+			return core.ActionResult{Action: a, Honored: true, Granted: a.Amount}, nil
+		}),
+	)
+}
+
+const benchWindow = 2048
+
+func benchCoordinator(b *testing.B, loops, workers int) {
+	c := New(workers)
+	for i := 0; i < loops; i++ {
+		c.Add(analyticLoop(i, benchWindow), i%4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(time.Duration(i+1) * time.Minute)
+	}
+}
+
+// BenchmarkFleetTick measures one concurrent coordinator round across fleet
+// sizes; compare against BenchmarkFleetTickSequential at the same size for
+// the scaling headroom the worker pool buys.
+func BenchmarkFleetTick(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("loops=%d", n), func(b *testing.B) { benchCoordinator(b, n, 0) })
+	}
+}
+
+// BenchmarkFleetTickSequential is the single-worker baseline: identical
+// rounds, planned on one goroutine like the pre-fleet sequential ticking.
+func BenchmarkFleetTickSequential(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("loops=%d", n), func(b *testing.B) { benchCoordinator(b, n, 1) })
+	}
+}

@@ -1,0 +1,202 @@
+// Package fleet runs many MAPE-K autonomy loops concurrently under one
+// coordinator — the step the paper's vision of simultaneous facility-,
+// system-, and job-level loops requires once more than a handful of loops
+// share one managed system.
+//
+// A Coordinator owns a set of core.Loops and ticks them in rounds: the plan
+// half of every loop (Monitor/Analyze/Plan) fans out over a worker pool, a
+// round barrier waits for all of them, a per-subject Arbiter resolves
+// cross-loop conflicts among the planned actions, and the execute halves run
+// serially in registration order. Because the plan half touches only
+// loop-local state (audit entries and bus events are buffered inside the
+// PlannedTick) and everything order-sensitive happens after the barrier, a
+// round's outcome is bit-identical regardless of worker count or goroutine
+// scheduling — fixed-seed experiment tables survive the concurrency.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/core"
+	"autoloop/internal/sim"
+)
+
+// TopicRound is the bus topic carrying one RoundSummary per coordinator
+// round.
+const TopicRound = "fleet.round"
+
+// TopicConflict is the bus topic carrying one ConflictRecord per arbitrated
+// subject per round.
+const TopicConflict = "fleet.conflict"
+
+// RoundSummary is the envelope payload published on TopicRound.
+type RoundSummary struct {
+	Round      int `json:"round"`
+	Loops      int `json:"loops"`
+	Planned    int `json:"planned"`
+	Arbitrated int `json:"arbitrated"`
+	Conflicts  int `json:"conflicts"`
+}
+
+// Metrics counts coordinator activity across rounds.
+type Metrics struct {
+	Rounds     int
+	Planned    int // actions planned across all loops
+	Arbitrated int // actions lost to cross-loop arbitration
+	Conflicts  int // conflict groups resolved
+}
+
+// member is one registered loop with its arbitration priority.
+type member struct {
+	loop     *core.Loop
+	priority int
+}
+
+// Coordinator ticks a fleet of loops concurrently with cross-loop conflict
+// arbitration. The zero value is not usable; construct with New. Tick must be
+// called from one goroutine (under the simulator, the engine thread).
+type Coordinator struct {
+	workers int
+	arbiter *Arbiter
+	bus     *bus.Bus
+	source  string
+
+	members []member
+	names   map[string]bool
+	plans   []*core.PlannedTick // reused across rounds
+	metrics Metrics
+}
+
+// New returns a coordinator whose plan phase fans out over workers
+// goroutines; workers <= 0 selects GOMAXPROCS. A single worker degenerates to
+// sequential planning, which is useful as a determinism baseline.
+func New(workers int) *Coordinator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Coordinator{workers: workers, arbiter: NewArbiter(), names: make(map[string]bool)}
+}
+
+// Arbiter exposes the conflict arbiter for rule configuration.
+func (c *Coordinator) Arbiter() *Arbiter { return c.arbiter }
+
+// PublishTo arranges for every round to publish its ConflictRecords and
+// RoundSummary on b as one batch. source tags the envelopes. Returns c for
+// chaining.
+func (c *Coordinator) PublishTo(b *bus.Bus, source string) *Coordinator {
+	c.bus = b
+	c.source = source
+	return c
+}
+
+// Add registers a loop with an arbitration priority: on a cross-loop conflict
+// the higher priority wins (after any kind ranks — see Arbiter.RankKind),
+// with registration order breaking ties. Registration order also fixes the
+// deterministic execute order. Loop names must be unique within a fleet so
+// conflict records are unambiguous.
+func (c *Coordinator) Add(l *core.Loop, priority int) {
+	if l == nil {
+		panic("fleet: Add with nil loop")
+	}
+	if c.names[l.Name] {
+		panic(fmt.Sprintf("fleet: duplicate loop name %q", l.Name))
+	}
+	c.names[l.Name] = true
+	c.members = append(c.members, member{loop: l, priority: priority})
+}
+
+// Len reports how many loops are registered.
+func (c *Coordinator) Len() int { return len(c.members) }
+
+// Metrics returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Metrics() Metrics { return c.metrics }
+
+// Tick runs one coordinated round at virtual time now: concurrent plan
+// halves, round barrier, arbitration, then serial execute halves in
+// registration order.
+func (c *Coordinator) Tick(now time.Duration) {
+	n := len(c.members)
+	if n == 0 {
+		return
+	}
+	if cap(c.plans) < n {
+		c.plans = make([]*core.PlannedTick, n)
+	}
+	plans := c.plans[:n]
+	c.planRound(now, plans)
+
+	// Round barrier passed: everything below is serial and deterministic.
+	conflicts := c.arbiter.resolve(c.members, plans)
+	planned, arbitrated := 0, 0
+	for _, pt := range plans {
+		planned += len(pt.Actions())
+	}
+	for _, cf := range conflicts {
+		arbitrated += len(cf.Losers)
+	}
+	for i := range c.members {
+		c.members[i].loop.ExecutePlanned(plans[i])
+		plans[i] = nil
+	}
+	c.metrics.Rounds++
+	c.metrics.Planned += planned
+	c.metrics.Arbitrated += arbitrated
+	c.metrics.Conflicts += len(conflicts)
+
+	if c.bus != nil {
+		envs := make([]bus.Envelope, 0, len(conflicts)+1)
+		for _, cf := range conflicts {
+			envs = append(envs, bus.Envelope{Topic: TopicConflict, Time: now, Source: c.source, Payload: cf})
+		}
+		envs = append(envs, bus.Envelope{Topic: TopicRound, Time: now, Source: c.source, Payload: RoundSummary{
+			Round: c.metrics.Rounds, Loops: n, Planned: planned, Arbitrated: arbitrated, Conflicts: len(conflicts),
+		}})
+		c.bus.PublishBatch(envs)
+	}
+}
+
+// planRound fills plans[i] with members[i]'s PlanTick, fanning out over the
+// worker pool. Each loop is planned by exactly one worker; the shared
+// substrates the plan phases read (tsdb, knowledge, scheduler state) must be
+// safe for concurrent readers, which this repository's are.
+func (c *Coordinator) planRound(now time.Duration, plans []*core.PlannedTick) {
+	n := len(plans)
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range c.members {
+			plans[i] = c.members[i].loop.PlanTick(now)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				plans[i] = c.members[i].loop.PlanTick(now)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunEvery schedules the fleet to tick on clock every period until stop
+// returns true (stop may be nil for "run forever"). It mirrors
+// core.Loop.RunEvery so converting a loop to a fleet is a drop-in change.
+func (c *Coordinator) RunEvery(clock sim.Clock, period time.Duration, stop func() bool) {
+	sim.TickEvery(clock, period, stop, c.Tick)
+}

@@ -291,10 +291,38 @@ type snapshot struct {
 	Facts map[string]float64 `json:"facts"`
 }
 
-// Save writes the knowledge base as JSON (the open-dataset export).
+// Save writes the knowledge base as JSON (the open-dataset export). The
+// state is copied under the read lock before encoding: the encoder must not
+// observe ResolvePlan rewriting a plan record or ResolveCorrection growing a
+// map while another goroutine holds the base — under a concurrent fleet
+// coordinator the base is shared across worker goroutines.
 func (b *Base) Save(w io.Writer) error {
 	b.mu.RLock()
-	snap := snapshot{Runs: b.runs, Plans: b.plans, Corr: b.corr, CorrN: b.corrN, Facts: b.facts}
+	snap := snapshot{
+		Runs:  append([]RunRecord(nil), b.runs...),
+		Plans: append([]PlanRecord(nil), b.plans...),
+		Corr:  make(map[string]float64, len(b.corr)),
+		CorrN: make(map[string]int, len(b.corrN)),
+		Facts: make(map[string]float64, len(b.facts)),
+	}
+	for i, r := range snap.Runs {
+		if r.Signature != nil {
+			sig := make(analytics.Signature, len(r.Signature))
+			for k, v := range r.Signature {
+				sig[k] = v
+			}
+			snap.Runs[i].Signature = sig
+		}
+	}
+	for k, v := range b.corr {
+		snap.Corr[k] = v
+	}
+	for k, v := range b.corrN {
+		snap.CorrN[k] = v
+	}
+	for k, v := range b.facts {
+		snap.Facts[k] = v
+	}
 	b.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -22,6 +22,24 @@ func (c VirtualClock) Now() time.Duration { return c.Engine.Now() }
 // AfterFunc implements Clock.
 func (c VirtualClock) AfterFunc(d time.Duration, fn func()) { c.Engine.After(d, fn) }
 
+// TickEvery schedules tick to run on clock every period until stop returns
+// true (stop may be nil for "run forever"). It is the one periodic-driver
+// shape shared by loops, decentralization patterns, and fleet coordinators.
+func TickEvery(clock Clock, period time.Duration, stop func() bool, tick func(now time.Duration)) {
+	if period <= 0 {
+		panic("sim: TickEvery requires a positive period")
+	}
+	var run func()
+	run = func() {
+		if stop != nil && stop() {
+			return
+		}
+		tick(clock.Now())
+		clock.AfterFunc(period, run)
+	}
+	clock.AfterFunc(period, run)
+}
+
 // WallClock implements Clock against real time, measured from the moment the
 // WallClock was created. It is used by cmd/modad to run loops in real time.
 type WallClock struct{ start time.Time }

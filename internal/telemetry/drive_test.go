@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+type tickRecorder struct{ ticks []time.Duration }
+
+func (r *tickRecorder) Tick(now time.Duration) { r.ticks = append(r.ticks, now) }
+
+func TestPipelineDrivesTickers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func(now time.Duration) []Point {
+		return []Point{{Name: "m", Time: now, Value: 1}}
+	}))
+	everySample := &tickRecorder{}
+	everyThird := &tickRecorder{}
+	p := NewPipeline(reg, nil).Drive(everySample, 1).Drive(everyThird, 3)
+
+	for i := 1; i <= 6; i++ {
+		p.Sample(time.Duration(i) * time.Minute)
+	}
+	if len(everySample.ticks) != 6 {
+		t.Errorf("every-sample ticker ran %d times, want 6", len(everySample.ticks))
+	}
+	if len(everyThird.ticks) != 2 || everyThird.ticks[0] != 3*time.Minute || everyThird.ticks[1] != 6*time.Minute {
+		t.Errorf("every-third ticker ran at %v, want [3m 6m]", everyThird.ticks)
+	}
+}
+
+func TestDriveTickSeesFreshSample(t *testing.T) {
+	reg := NewRegistry()
+	val := 0.0
+	reg.Register(CollectorFunc(func(now time.Duration) []Point {
+		return []Point{{Name: "m", Time: now, Value: val}}
+	}))
+	var seen []float64
+	sink := sinkFunc(func(pts []Point) error { return nil })
+	p := NewPipeline(reg, sink)
+	p.Drive(tickFunc(func(now time.Duration) { seen = append(seen, val) }), 1)
+	val = 42
+	p.Sample(time.Minute)
+	if len(seen) != 1 || seen[0] != 42 {
+		t.Fatalf("driven tick observed %v, want the freshly sampled 42", seen)
+	}
+}
+
+type sinkFunc func(pts []Point) error
+
+func (f sinkFunc) AppendBatch(pts []Point) error { return f(pts) }
+
+type tickFunc func(now time.Duration)
+
+func (f tickFunc) Tick(now time.Duration) { f(now) }

@@ -42,6 +42,7 @@ type Pipeline struct {
 	sink   Sink
 	bus    *bus.Bus
 	source string
+	drives []driven
 
 	pts  []Point
 	envs []bus.Envelope
@@ -50,6 +51,19 @@ type Pipeline struct {
 	points  uint64
 	errs    uint64
 	lastErr error
+}
+
+// Ticker is anything advanced on the monitoring cadence — a core.Loop or a
+// fleet.Coordinator.
+type Ticker interface {
+	Tick(now time.Duration)
+}
+
+// driven is one Ticker with its sampling divisor and phase counter.
+type driven struct {
+	t     Ticker
+	every int
+	n     int
 }
 
 // NewPipeline builds a pipeline draining reg into sink. sink may be nil when
@@ -67,6 +81,22 @@ func NewPipeline(reg *Registry, sink Sink) *Pipeline {
 func (p *Pipeline) PublishTo(b *bus.Bus, source string) *Pipeline {
 	p.bus = b
 	p.source = source
+	return p
+}
+
+// Drive arranges for t.Tick(now) to run after every n-th sample (n <= 1
+// ticks on every sample), so the response side of the loop always runs
+// against freshly ingested telemetry — the monitoring plane of Fig. 1
+// driving the feedback plane, instead of two cadences racing on the event
+// schedule. Returns p for chaining.
+func (p *Pipeline) Drive(t Ticker, every int) *Pipeline {
+	if t == nil {
+		panic("telemetry: Drive with nil ticker")
+	}
+	if every < 1 {
+		every = 1
+	}
+	p.drives = append(p.drives, driven{t: t, every: every})
 	return p
 }
 
@@ -91,6 +121,13 @@ func (p *Pipeline) Sample(now time.Duration) int {
 			})
 		}
 		p.bus.PublishBatch(p.envs)
+	}
+	for i := range p.drives {
+		d := &p.drives[i]
+		if d.n++; d.n >= d.every {
+			d.n = 0
+			d.t.Tick(now)
+		}
 	}
 	return len(p.pts)
 }
