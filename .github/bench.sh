@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the key-benchmark smoke set used by the CI perf-regression gate.
+# Usage: bench.sh [tree-dir]   (defaults to the current tree)
+# BENCH_COUNT overrides the per-benchmark repetition count (default 6; the
+# gate compares medians, so odd noise in one run does not flip the verdict).
+# Fixed -benchtime=Nx iteration counts keep base and head runs comparable.
+set -euo pipefail
+dir="${1:-.}"
+count="${BENCH_COUNT:-6}"
+cd "$dir"
+go test -run='^$' -bench='^BenchmarkBusDispatch$' -benchtime=1000x -count="$count" ./internal/bus
+go test -run='^$' -bench='^BenchmarkTelemetryIngest$' -benchtime=100x -count="$count" ./internal/tsdb
+go test -run='^$' -bench='^BenchmarkQueryMatcher$' -benchtime=50x -count="$count" ./internal/tsdb
+go test -run='^$' -bench='^BenchmarkShardedAppend$' -benchtime=100000x -count="$count" ./internal/tsdb
+# Only the 1000-loop shape: the small sub-benchmarks are too short to gate
+# on a shared CI box without false positives.
+go test -run='^$' -bench='^BenchmarkFleetTick$/^loops=1000$' -benchtime=5x -count="$count" ./internal/fleet

@@ -43,6 +43,26 @@ func main() {
 	db := tsdb.New(2 * time.Hour)
 	b := bus.New()
 
+	// Continuous rollups: coarse aggregates are maintained at append time
+	// and stay queryable for a day, long past the 2h raw retention.
+	for _, rule := range []tsdb.RollupRule{
+		{Metric: "node.temp.celsius", Step: 5 * time.Minute, Agg: tsdb.AggMean, Retention: 24 * time.Hour},
+		{Metric: "facility.pue", Step: 5 * time.Minute, Agg: tsdb.AggMean, Retention: 24 * time.Hour},
+		{Metric: "pfs.ost.lat_ms", Step: 5 * time.Minute, Agg: tsdb.AggP95, Retention: 24 * time.Hour},
+	} {
+		if err := db.AddRollup(rule); err != nil {
+			fmt.Fprintln(os.Stderr, "modad:", err)
+			os.Exit(1)
+		}
+	}
+
+	// The query endpoint: clients publish tsdb.QueryRequest payloads on
+	// "tsdb.query" (one JSON line over the TCP bridge) and receive
+	// "tsdb.result" envelopes — raw ranges, instant lookups, or registered
+	// rollups via step_ms/agg.
+	svc := tsdb.NewService(db).Attach(b, "modad")
+	defer svc.Close()
+
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = 16
 	cl := cluster.New(engine, ccfg)
@@ -69,8 +89,9 @@ func main() {
 	// loops concurrently. Their lifecycle envelopes ("loop.<name>.*") and
 	// the coordinator's round summaries ("fleet.round", "fleet.conflict")
 	// travel the same bus as the telemetry.
-	power := powercase.New(powercase.DefaultConfig(), db, plant)
-	ost := ostcase.New(ostcase.DefaultConfig(), db, scheduler, runtime)
+	q, _ := pipe.Querier() // the pipeline's sink is the TSDB
+	power := powercase.New(powercase.DefaultConfig(), q, plant)
+	ost := ostcase.New(ostcase.DefaultConfig(), q, scheduler, runtime)
 	powerLoop, ostLoop := power.Loop(), ost.Loop()
 	powerLoop.Bus = b
 	ostLoop.Bus = b

@@ -1,0 +1,29 @@
+package analytics
+
+import (
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// WindowValues gathers the values of every series of name matching matcher
+// in [from, to] from q, concatenated in label-key order — the windowing step
+// in front of value-shaped operators (percentiles, MADOutliers, detectors
+// replayed over history). It is the Analyze side of the telemetry.Querier
+// surface: operators never touch the store directly.
+func WindowValues(q telemetry.Querier, name string, matcher telemetry.Labels, from, to time.Duration) []float64 {
+	var out []float64
+	for _, s := range q.Query(name, matcher, from, to) {
+		out = append(out, s.Values()...)
+	}
+	return out
+}
+
+// Replay feeds every sample of s into f in time order, so a fresh forecaster
+// can be warmed from a queried window (timestamps are converted to seconds,
+// the forecasters' time unit).
+func Replay(f Forecaster, s telemetry.Series) {
+	for _, smp := range s.Samples {
+		f.Observe(smp.Time.Seconds(), smp.Value)
+	}
+}

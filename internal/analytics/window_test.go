@@ -1,0 +1,60 @@
+package analytics_test
+
+import (
+	"testing"
+	"time"
+
+	"autoloop/internal/analytics"
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+func TestWindowValues(t *testing.T) {
+	db := tsdb.New(0)
+	for i := 0; i < 10; i++ {
+		for _, node := range []string{"n1", "n2"} {
+			p := telemetry.Point{Name: "m", Labels: telemetry.Labels{"node": node}, Time: time.Duration(i) * time.Second, Value: float64(i)}
+			if err := db.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	vals := analytics.WindowValues(db, "m", nil, 2*time.Second, 4*time.Second)
+	// Two series × t=2..4, concatenated in label-key order.
+	want := []float64{2, 3, 4, 2, 3, 4}
+	if len(vals) != len(want) {
+		t.Fatalf("got %d values, want %d: %v", len(vals), len(want), vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	one := analytics.WindowValues(db, "m", telemetry.Labels{"node": "n2"}, 0, time.Hour)
+	if len(one) != 10 {
+		t.Errorf("matcher window has %d values, want 10", len(one))
+	}
+	if none := analytics.WindowValues(db, "nope", nil, 0, time.Hour); none != nil {
+		t.Errorf("unknown metric window = %v, want nil", none)
+	}
+}
+
+func TestReplayWarmsForecaster(t *testing.T) {
+	s := telemetry.Series{Name: "m"}
+	for i := 0; i < 20; i++ {
+		s.Samples = append(s.Samples, telemetry.Sample{Time: time.Duration(i) * time.Second, Value: float64(2 * i)})
+	}
+	h := analytics.NewHolt(0.5, 0.3)
+	analytics.Replay(h, s)
+	f := h.Predict(1)
+	if !f.OK() {
+		t.Fatal("forecast not OK after replay")
+	}
+	if f.N != 20 {
+		t.Errorf("forecast N = %d, want 20", f.N)
+	}
+	// The series grows by 2/s; one second ahead of 38 should be near 40.
+	if f.Value < 38 || f.Value > 42 {
+		t.Errorf("forecast = %v, want ~40", f.Value)
+	}
+}

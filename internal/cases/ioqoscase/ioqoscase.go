@@ -22,7 +22,6 @@ import (
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/telemetry"
-	"autoloop/internal/tsdb"
 )
 
 // Tenant describes one QoS tenant.
@@ -65,7 +64,7 @@ func factKey(tenant string) string { return "ioqos.alloc_mbps." + tenant }
 // Controller wires the hierarchical QoS loops.
 type Controller struct {
 	cfg Config
-	db  *tsdb.DB
+	db  telemetry.Querier
 	fs  *pfs.FS
 	kb  *knowledge.Base
 
@@ -82,7 +81,7 @@ type Controller struct {
 }
 
 // New builds the controller and seeds fair-share allocations.
-func New(cfg Config, db *tsdb.DB, fs *pfs.FS, kb *knowledge.Base) *Controller {
+func New(cfg Config, db telemetry.Querier, fs *pfs.FS, kb *knowledge.Base) *Controller {
 	if db == nil || fs == nil || kb == nil {
 		panic("ioqoscase: nil dependency")
 	}

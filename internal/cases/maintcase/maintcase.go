@@ -38,7 +38,7 @@ func DefaultConfig() Config {
 // Controller wires the maintenance MAPE loop.
 type Controller struct {
 	cfg  Config
-	db   *tsdb.DB
+	db   telemetry.Querier
 	sch  *sched.Scheduler
 	apps *app.Runtime
 
@@ -51,7 +51,7 @@ type Controller struct {
 }
 
 // New builds the controller.
-func New(cfg Config, db *tsdb.DB, sch *sched.Scheduler, apps *app.Runtime) *Controller {
+func New(cfg Config, db telemetry.Querier, sch *sched.Scheduler, apps *app.Runtime) *Controller {
 	if db == nil || sch == nil || apps == nil {
 		panic("maintcase: nil dependency")
 	}

@@ -24,7 +24,6 @@ import (
 	"autoloop/internal/core"
 	"autoloop/internal/sched"
 	"autoloop/internal/telemetry"
-	"autoloop/internal/tsdb"
 )
 
 // Config tunes detection.
@@ -68,7 +67,7 @@ type Detection struct {
 // Controller wires the misconfiguration MAPE loop.
 type Controller struct {
 	cfg  Config
-	db   *tsdb.DB
+	db   telemetry.Querier
 	sch  *sched.Scheduler
 	apps *app.Runtime
 	cl   *cluster.Cluster
@@ -86,7 +85,7 @@ type Controller struct {
 
 // New builds the controller. cl may be nil when node telemetry is
 // unavailable (underutilization detection is then disabled).
-func New(cfg Config, db *tsdb.DB, sch *sched.Scheduler, apps *app.Runtime, cl *cluster.Cluster) *Controller {
+func New(cfg Config, db telemetry.Querier, sch *sched.Scheduler, apps *app.Runtime, cl *cluster.Cluster) *Controller {
 	if db == nil || sch == nil || apps == nil {
 		panic("misconfcase: nil dependency")
 	}

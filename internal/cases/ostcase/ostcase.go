@@ -20,7 +20,7 @@ import (
 	"autoloop/internal/app"
 	"autoloop/internal/core"
 	"autoloop/internal/sched"
-	"autoloop/internal/tsdb"
+	"autoloop/internal/telemetry"
 )
 
 // FleetPriority is the case's recommended arbitration priority under a
@@ -47,7 +47,7 @@ func DefaultConfig() Config {
 // Controller wires the OST MAPE loop.
 type Controller struct {
 	cfg  Config
-	db   *tsdb.DB
+	db   telemetry.Querier
 	sch  *sched.Scheduler
 	apps *app.Runtime
 
@@ -60,7 +60,7 @@ type Controller struct {
 }
 
 // New builds the controller.
-func New(cfg Config, db *tsdb.DB, sch *sched.Scheduler, apps *app.Runtime) *Controller {
+func New(cfg Config, db telemetry.Querier, sch *sched.Scheduler, apps *app.Runtime) *Controller {
 	if db == nil || sch == nil || apps == nil {
 		panic("ostcase: nil dependency")
 	}

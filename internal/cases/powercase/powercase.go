@@ -19,7 +19,6 @@ import (
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
 	"autoloop/internal/telemetry"
-	"autoloop/internal/tsdb"
 )
 
 // FleetPriority is the case's recommended arbitration priority under a
@@ -49,7 +48,7 @@ func DefaultConfig() Config {
 // Controller wires the power/energy MAPE loop.
 type Controller struct {
 	cfg   Config
-	db    *tsdb.DB
+	db    telemetry.Querier
 	plant *facility.Plant
 
 	// Raises and Lowers count setpoint movements (experiment metrics).
@@ -58,7 +57,7 @@ type Controller struct {
 }
 
 // New builds the controller.
-func New(cfg Config, db *tsdb.DB, plant *facility.Plant) *Controller {
+func New(cfg Config, db telemetry.Querier, plant *facility.Plant) *Controller {
 	if db == nil || plant == nil {
 		panic("powercase: nil dependency")
 	}

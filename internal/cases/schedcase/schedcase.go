@@ -80,7 +80,7 @@ func DefaultConfig() Config {
 // multiplexed for efficiency.
 type Controller struct {
 	cfg   Config
-	db    *tsdb.DB
+	db    telemetry.Querier
 	sch   *sched.Scheduler
 	apps  *app.Runtime
 	kb    *knowledge.Base
@@ -103,7 +103,7 @@ type prediction struct {
 }
 
 // New builds the controller.
-func New(cfg Config, db *tsdb.DB, sch *sched.Scheduler, apps *app.Runtime, kb *knowledge.Base, clock sim.Clock) *Controller {
+func New(cfg Config, db telemetry.Querier, sch *sched.Scheduler, apps *app.Runtime, kb *knowledge.Base, clock sim.Clock) *Controller {
 	if db == nil || sch == nil || apps == nil || kb == nil {
 		panic("schedcase: nil dependency")
 	}

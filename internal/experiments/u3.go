@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"autoloop/internal/analytics"
 	"autoloop/internal/app"
 	"autoloop/internal/cases/ostcase"
 	"autoloop/internal/fleet"
@@ -77,11 +78,9 @@ func runU3(opt Options) *Result {
 		engine.At(degradeAt, func() { _ = fs.SetOSTHealth(3, 0.05) })
 		engine.Run()
 
-		// I/O latency after the degradation, from the apps' own telemetry.
-		var after []float64
-		for _, s := range db.Query("app.io.lat_ms", nil, degradeAt, engine.Now()) {
-			after = append(after, s.Values()...)
-		}
+		// I/O latency after the degradation, from the apps' own telemetry,
+		// windowed through the shared query surface.
+		after := analytics.WindowValues(db, "app.io.lat_ms", nil, degradeAt, engine.Now())
 		var runtimeSum time.Duration
 		for _, j := range jobs {
 			runtimeSum += j.End - j.Start

@@ -1,0 +1,29 @@
+package telemetry
+
+import "time"
+
+// Querier is the read surface of the telemetry store: everything a loop's
+// Monitor/Analyze phases need from the Knowledge raw-data plane. The cases
+// and analytics helpers depend on this interface rather than on a concrete
+// database, so a production deployment can put DCDB/Prometheus/Examon behind
+// the same calls (paper question (ii)); *tsdb.DB is the in-tree
+// implementation.
+type Querier interface {
+	// Query returns every series of name whose labels match the matcher,
+	// restricted to samples in [from, to], sorted by label key.
+	Query(name string, matcher Labels, from, to time.Duration) []Series
+	// QueryOne is Query for callers expecting exactly one match.
+	QueryOne(name string, matcher Labels, from, to time.Duration) (Series, bool)
+	// Latest returns the newest point of every matching series.
+	Latest(name string, matcher Labels) []Point
+	// LatestValue returns the newest value of the last matching series in
+	// label-key order, allocation-free.
+	LatestValue(name string, matcher Labels) (float64, bool)
+}
+
+// Store combines the ingest and query halves of a telemetry database — what
+// a Pipeline's sink offers when it is a full TSDB rather than a plain sink.
+type Store interface {
+	Sink
+	Querier
+}

@@ -1,0 +1,38 @@
+package telemetry_test
+
+import (
+	"testing"
+	"time"
+
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+// TestPipelineQuerier verifies the pipeline exposes its sink's query surface
+// when the sink is a full store (*tsdb.DB implements telemetry.Store).
+func TestPipelineQuerier(t *testing.T) {
+	db := tsdb.New(0)
+	var _ telemetry.Store = db // the TSDB is ingest + query
+	reg := telemetry.NewRegistryOf(telemetry.CollectorFunc(func(now time.Duration) []telemetry.Point {
+		return []telemetry.Point{{Name: "m", Labels: telemetry.Labels{"n": "1"}, Time: now, Value: 7}}
+	}))
+	pipe := telemetry.NewPipeline(reg, db)
+	q, ok := pipe.Querier()
+	if !ok {
+		t.Fatal("pipeline with a *tsdb.DB sink must expose a Querier")
+	}
+	pipe.Sample(time.Second)
+	if v, ok := q.LatestValue("m", nil); !ok || v != 7 {
+		t.Errorf("LatestValue through pipeline querier = %v, %v; want 7", v, ok)
+	}
+
+	// A write-only sink exposes no query surface.
+	sinkOnly := telemetry.NewPipeline(reg, sinkFunc(func([]telemetry.Point) error { return nil }))
+	if _, ok := sinkOnly.Querier(); ok {
+		t.Error("write-only sink must not expose a Querier")
+	}
+}
+
+type sinkFunc func(pts []telemetry.Point) error
+
+func (f sinkFunc) AppendBatch(pts []telemetry.Point) error { return f(pts) }

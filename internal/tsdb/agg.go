@@ -52,6 +52,17 @@ func (a Agg) String() string {
 	return "unknown"
 }
 
+// ParseAgg is the inverse of String: it resolves an aggregation by its wire
+// name ("mean", "p95", ...), reporting ok=false for unknown names.
+func ParseAgg(name string) (Agg, bool) {
+	for a := AggMean; a <= AggStddev; a++ {
+		if a.String() == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
 // apply reduces values (may be reordered in place for percentiles).
 func (a Agg) apply(values []float64) float64 {
 	if len(values) == 0 {

@@ -2,6 +2,8 @@ package tsdb
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,6 +50,137 @@ func BenchmarkTelemetryIngest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// highCardSetup ingests a 10k-series fleet (one metric, node+rack labels,
+// 8 samples each) into both the sharded DB and the linear-scan reference.
+func highCardSetup(b *testing.B, series int) (*DB, *refDB, telemetry.Labels) {
+	b.Helper()
+	db := New(0)
+	ref := newRefDB(0)
+	for n := 0; n < series; n++ {
+		labels := telemetry.Labels{
+			"node": fmt.Sprintf("n%05d", n),
+			"rack": fmt.Sprintf("r%03d", n/64),
+		}
+		for i := 0; i < 8; i++ {
+			p := telemetry.Point{Name: "hc.load", Labels: labels, Time: time.Duration(i) * time.Second, Value: float64(n + i)}
+			if err := db.Append(p); err != nil {
+				b.Fatal(err)
+			}
+			if err := ref.append(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// One rack = 64 of the 10k series: a selective matcher.
+	return db, ref, telemetry.Labels{"rack": "r003"}
+}
+
+// BenchmarkQueryMatcher measures a label-matcher query at 10k-series
+// cardinality on the sharded, label-indexed store: the matcher resolves
+// through rack=r003's posting lists instead of scanning every series of the
+// metric. Compare against BenchmarkQueryMatcherLinear.
+func BenchmarkQueryMatcher(b *testing.B) {
+	db, _, matcher := highCardSetup(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := db.Query("hc.load", matcher, 0, time.Minute); len(got) != 64 {
+			b.Fatalf("matched %d series, want 64", len(got))
+		}
+	}
+}
+
+// BenchmarkQueryMatcherLinear is the pre-sharding baseline: the same query
+// answered by a linear scan over all 10k series of the metric.
+func BenchmarkQueryMatcherLinear(b *testing.B) {
+	_, ref, matcher := highCardSetup(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ref.query("hc.load", matcher, 0, time.Minute); len(got) != 64 {
+			b.Fatalf("matched %d series, want 64", len(got))
+		}
+	}
+}
+
+// BenchmarkShardedAppend measures parallel appenders over a high-cardinality
+// store: 10k background series plus 1k private series per appender
+// goroutine, so writers land on different lock stripes and throughput scales
+// with GOMAXPROCS.
+func BenchmarkShardedAppend(b *testing.B) {
+	db := New(time.Hour)
+	for n := 0; n < 10240; n++ {
+		labels := telemetry.Labels{"node": fmt.Sprintf("bg%05d", n)}
+		if err := db.Append(telemetry.Point{Name: "shard.load", Labels: labels, Value: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := gid.Add(1)
+		labels := make([]telemetry.Labels, 1024)
+		for i := range labels {
+			labels[i] = telemetry.Labels{"node": fmt.Sprintf("g%03d.n%04d", g, i)}
+		}
+		j := 0
+		for pb.Next() {
+			p := telemetry.Point{
+				Name:   "shard.load",
+				Labels: labels[j%1024],
+				Time:   time.Duration(1+j/1024) * time.Second,
+				Value:  float64(j),
+			}
+			if err := db.Append(p); err != nil {
+				b.Fatal(err)
+			}
+			j++
+		}
+	})
+}
+
+// BenchmarkShardedAppendSingleLock serializes the same parallel workload
+// through one global mutex — the pre-sharding locking discipline — so the
+// delta to BenchmarkShardedAppend is what the lock stripes buy under
+// parallel ingest.
+func BenchmarkShardedAppendSingleLock(b *testing.B) {
+	db := New(time.Hour)
+	for n := 0; n < 10240; n++ {
+		labels := telemetry.Labels{"node": fmt.Sprintf("bg%05d", n)}
+		if err := db.Append(telemetry.Point{Name: "shard.load", Labels: labels, Value: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := gid.Add(1)
+		labels := make([]telemetry.Labels, 1024)
+		for i := range labels {
+			labels[i] = telemetry.Labels{"node": fmt.Sprintf("g%03d.n%04d", g, i)}
+		}
+		j := 0
+		for pb.Next() {
+			p := telemetry.Point{
+				Name:   "shard.load",
+				Labels: labels[j%1024],
+				Time:   time.Duration(1+j/1024) * time.Second,
+				Value:  float64(j),
+			}
+			mu.Lock()
+			err := db.Append(p)
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+			j++
+		}
+	})
 }
 
 // BenchmarkTelemetryIngestPerPoint is the pre-batching baseline: one lock

@@ -1,0 +1,78 @@
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// TestConcurrentAppendQueryRollup hammers the sharded store from parallel
+// appenders, queriers, and a mid-flight rollup registration; run under
+// -race in CI it guards the lock-striping discipline.
+func TestConcurrentAppendQueryRollup(t *testing.T) {
+	db := New(time.Hour)
+	if err := db.AddRollup(RollupRule{Metric: "c.load", Step: 4 * time.Second, Agg: AggMean}); err != nil {
+		t.Fatal(err)
+	}
+	const writers, samples = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			labels := telemetry.Labels{"node": fmt.Sprintf("w%d", w)}
+			for i := 0; i < samples; i++ {
+				p := telemetry.Point{Name: "c.load", Labels: labels, Time: time.Duration(i) * time.Second, Value: float64(i)}
+				if err := db.Append(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.Query("c.load", telemetry.Labels{"node": "w0"}, 0, time.Hour)
+				db.Latest("c.load", nil)
+				db.LatestValue("c.load", telemetry.Labels{"node": "w1"})
+				db.QueryRollup("c.load", nil, 4*time.Second, AggMean, 0, time.Hour)
+				db.NumSeries()
+				db.Appended()
+			}
+		}()
+	}
+	// A second rule lands while writers are running: backfill must not race.
+	if err := db.AddRollup(RollupRule{Metric: "c.load", Step: 8 * time.Second, Agg: AggMax}); err != nil {
+		t.Fatal(err)
+	}
+	// Writers finish first, then readers are told to stop.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if got := db.Appended(); got != writers*samples {
+		t.Errorf("Appended = %d, want %d", got, writers*samples)
+	}
+	if got := db.NumSeries(); got != writers {
+		t.Errorf("NumSeries = %d, want %d", got, writers)
+	}
+	ss, ok := db.QueryRollup("c.load", nil, 8*time.Second, AggMax, 0, time.Hour)
+	if !ok || len(ss) != writers {
+		t.Errorf("late rollup has %d series (ok=%v), want %d", len(ss), ok, writers)
+	}
+}

@@ -1,0 +1,157 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/telemetry"
+)
+
+// Topics of the bus query surface: clients publish QueryRequest payloads on
+// QueryTopic (in process or over the cmd/modad TCP bridge, which republishes
+// client lines locally) and receive QueryResponse payloads on ResultTopic.
+const (
+	QueryTopic  = "tsdb.query"
+	ResultTopic = "tsdb.result"
+)
+
+// QueryRequest is the wire form of one query against a served DB. Times are
+// virtual milliseconds since the simulation epoch. Step selects a registered
+// rollup (with Agg naming the rule's aggregation); Latest asks for each
+// matching series' newest point instead of a range.
+type QueryRequest struct {
+	ID     string           `json:"id,omitempty"`
+	Metric string           `json:"metric"`
+	Match  telemetry.Labels `json:"match,omitempty"`
+	FromMS int64            `json:"from_ms,omitempty"`
+	ToMS   int64            `json:"to_ms,omitempty"`
+	StepMS int64            `json:"step_ms,omitempty"`
+	Agg    string           `json:"agg,omitempty"`
+	Latest bool             `json:"latest,omitempty"`
+}
+
+// WireSample is one (time, value) pair of a response series.
+type WireSample struct {
+	TimeMS int64   `json:"t_ms"`
+	Value  float64 `json:"v"`
+}
+
+// WireSeries is one series of a response.
+type WireSeries struct {
+	Metric  string           `json:"metric"`
+	Labels  telemetry.Labels `json:"labels,omitempty"`
+	Samples []WireSample     `json:"samples"`
+}
+
+// QueryResponse answers one QueryRequest, echoing its ID.
+type QueryResponse struct {
+	ID     string       `json:"id,omitempty"`
+	Series []WireSeries `json:"series,omitempty"`
+	Err    string       `json:"err,omitempty"`
+}
+
+// Service answers QueryRequest envelopes published on a bus from a DB —
+// the query endpoint cmd/modad exposes next to its envelope stream.
+type Service struct {
+	db     *DB
+	cancel func()
+	source string
+}
+
+// NewService returns a query service over db.
+func NewService(db *DB) *Service {
+	if db == nil {
+		panic("tsdb: NewService with nil DB")
+	}
+	return &Service{db: db}
+}
+
+// Attach subscribes the service to QueryTopic on b, publishing responses on
+// ResultTopic tagged with source. It returns s for chaining; Close detaches.
+func (s *Service) Attach(b *bus.Bus, source string) *Service {
+	if s.cancel != nil {
+		panic("tsdb: Service attached twice")
+	}
+	s.source = source
+	s.cancel = b.Subscribe(QueryTopic, func(env bus.Envelope) {
+		resp := s.Answer(decodeRequest(env.Payload))
+		b.Publish(bus.Envelope{Topic: ResultTopic, Time: env.Time, Source: s.source, Payload: resp})
+	})
+	return s
+}
+
+// Close detaches the service from its bus.
+func (s *Service) Close() {
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+}
+
+// decodeRequest tolerates both in-process payloads (a QueryRequest value)
+// and wire payloads (the JSON-decoded map a TCP client's line arrives as) by
+// round-tripping unknown shapes through JSON.
+func decodeRequest(payload interface{}) QueryRequest {
+	switch v := payload.(type) {
+	case QueryRequest:
+		return v
+	case *QueryRequest:
+		return *v
+	default:
+		var req QueryRequest
+		data, err := json.Marshal(payload)
+		if err == nil {
+			_ = json.Unmarshal(data, &req)
+		}
+		return req
+	}
+}
+
+// Answer executes one request against the DB.
+func (s *Service) Answer(req QueryRequest) QueryResponse {
+	resp := QueryResponse{ID: req.ID}
+	if req.Metric == "" {
+		resp.Err = "missing metric"
+		return resp
+	}
+	from := time.Duration(req.FromMS) * time.Millisecond
+	to := time.Duration(req.ToMS) * time.Millisecond
+	switch {
+	case req.Latest:
+		for _, p := range s.db.Latest(req.Metric, req.Match) {
+			resp.Series = append(resp.Series, WireSeries{
+				Metric: p.Name, Labels: p.Labels,
+				Samples: []WireSample{{TimeMS: p.Time.Milliseconds(), Value: p.Value}},
+			})
+		}
+	case req.StepMS > 0:
+		agg, ok := ParseAgg(req.Agg)
+		if !ok {
+			resp.Err = fmt.Sprintf("unknown agg %q", req.Agg)
+			return resp
+		}
+		ss, ok := s.db.QueryRollup(req.Metric, req.Match, time.Duration(req.StepMS)*time.Millisecond, agg, from, to)
+		if !ok {
+			resp.Err = fmt.Sprintf("no rollup %s/%v/%s registered", req.Metric, time.Duration(req.StepMS)*time.Millisecond, req.Agg)
+			return resp
+		}
+		resp.Series = wireSeries(ss)
+	default:
+		resp.Series = wireSeries(s.db.Query(req.Metric, req.Match, from, to))
+	}
+	return resp
+}
+
+func wireSeries(ss []telemetry.Series) []WireSeries {
+	out := make([]WireSeries, 0, len(ss))
+	for _, s := range ss {
+		ws := WireSeries{Metric: s.Name, Labels: s.Labels, Samples: make([]WireSample, len(s.Samples))}
+		for i, smp := range s.Samples {
+			ws.Samples[i] = WireSample{TimeMS: smp.Time.Milliseconds(), Value: smp.Value}
+		}
+		out = append(out, ws)
+	}
+	return out
+}

@@ -1,12 +1,20 @@
 // Package tsdb implements an in-memory time-series database for operational
 // telemetry: append-only labeled series with range and instant queries,
-// downsampling, aggregation, and retention.
+// downsampling, aggregation, retention, and continuous rollups.
 //
 // It is the storage substrate behind the Monitor phase and the raw-data part
 // of the Knowledge component. The query surface is intentionally close to
 // what a production MODA stack (DCDB, Prometheus, Examon) exposes, so loop
 // components written against it would port to a real deployment by swapping
 // this package behind the same calls.
+//
+// Internally the store is sharded: series are distributed over lock stripes
+// by an identity hash, each shard carries an inverted label index
+// (key=value -> posting list) so matcher queries intersect postings instead
+// of scanning every series of a metric, and range bounds inside a series are
+// binary-searched. Registered RollupRules are maintained incrementally at
+// append time and queried with QueryRollup, staying available beyond the raw
+// samples' retention.
 package tsdb
 
 import (
@@ -14,71 +22,83 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoloop/internal/telemetry"
 )
 
-// memSeries stores one (name, labels) identity's samples in time order.
-// Retention drops samples by advancing head; the dead prefix is compacted
-// only once it outgrows the live part, so expiry is O(1) amortized instead
-// of copying the whole window on every append.
-type memSeries struct {
-	name    string
-	labels  telemetry.Labels
-	samples []telemetry.Sample
-	head    int // index of the first live sample
-}
-
-// live returns the retained samples.
-func (s *memSeries) live() []telemetry.Sample { return s.samples[s.head:] }
-
-// DB is an in-memory time-series database. It is safe for concurrent use;
-// under the simulator all access is single-threaded, but cmd/modad serves
-// network queries from multiple goroutines.
+// DB is an in-memory sharded time-series database. It is safe for concurrent
+// use; under the simulator all access is single-threaded, but cmd/modad
+// serves network queries from multiple goroutines and fleet benchmarks
+// append from parallel workers.
 type DB struct {
-	mu sync.RWMutex
-	// byName maps metric name -> label key -> series.
-	byName map[string]map[string]*memSeries
-
+	shards    [numShards]shard
 	retention time.Duration // 0 means keep everything
-	appended  uint64
+
+	// rules is the registered rollup-rule set, swapped atomically so the
+	// append hot path reads it with a single pointer load. rollupMu
+	// serializes writers (AddRollup).
+	rules    atomic.Pointer[[]RollupRule]
+	rollupMu sync.Mutex
+
+	// nameMu guards names, the set of metric names ever appended; series
+	// creation is rare, so a single small mutex does not stripe.
+	nameMu sync.Mutex
+	names  map[string]struct{}
 }
 
 // New returns an empty database that retains samples for the given duration;
 // retention <= 0 keeps all samples forever.
 func New(retention time.Duration) *DB {
-	return &DB{byName: make(map[string]map[string]*memSeries), retention: retention}
+	db := &DB{retention: retention, names: make(map[string]struct{})}
+	for i := range db.shards {
+		db.shards[i].byName = make(map[string]map[string]*memSeries)
+		db.shards[i].postings = make(map[labelPair][]*memSeries)
+		db.shards[i].byHash = make(map[uint64][]*memSeries)
+	}
+	return db
+}
+
+func (db *DB) loadRules() []RollupRule {
+	if p := db.rules.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// noteName records a metric name on first series creation.
+func (db *DB) noteName(name string) {
+	db.nameMu.Lock()
+	db.names[name] = struct{}{}
+	db.nameMu.Unlock()
 }
 
 // Append inserts a point. Out-of-order points (earlier than the series tail)
 // are rejected with an error; equal timestamps overwrite the tail value so
 // that idempotent re-collection is harmless.
 func (db *DB) Append(p telemetry.Point) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.appendLocked(p)
+	h := identityOf(&p)
+	sh := &db.shards[shardIndex(h)]
+	sh.mu.Lock()
+	err := db.appendLocked(sh, &p, h)
+	sh.mu.Unlock()
+	return err
 }
 
-// appendLocked is Append under an already-held write lock, so batch ingestion
-// pays for one lock round-trip per batch rather than per point.
-func (db *DB) appendLocked(p telemetry.Point) error {
+// appendLocked is one point's append under the owning shard's write lock.
+func (db *DB) appendLocked(sh *shard, p *telemetry.Point, h uint64) error {
 	if p.Name == "" {
 		return fmt.Errorf("tsdb: append with empty metric name")
 	}
 	if math.IsNaN(p.Value) {
 		return fmt.Errorf("tsdb: append NaN for %s%s", p.Name, p.Labels)
 	}
-	families := db.byName[p.Name]
-	if families == nil {
-		families = make(map[string]*memSeries)
-		db.byName[p.Name] = families
-	}
-	key := p.Labels.Key()
-	s := families[key]
+	s := sh.lookup(h, p)
 	if s == nil {
-		s = &memSeries{name: p.Name, labels: p.Labels.Clone()}
-		families[key] = s
+		// Rules are loaded under the shard lock (an atomic pointer read):
+		// see shard.create for the AddRollup race reasoning.
+		s = sh.create(p, h, db.loadRules(), db.noteName)
 	}
 	if n := len(s.samples); n > 0 {
 		last := s.samples[n-1].Time
@@ -87,114 +107,197 @@ func (db *DB) appendLocked(p telemetry.Point) error {
 		}
 		if p.Time == last {
 			s.samples[n-1].Value = p.Value
+			for _, sr := range s.rollups {
+				sr.observe(p.Time, p.Value, true)
+			}
 			return nil
 		}
 	}
 	s.samples = append(s.samples, telemetry.Sample{Time: p.Time, Value: p.Value})
-	db.appended++
+	for _, sr := range s.rollups {
+		sr.observe(p.Time, p.Value, false)
+	}
+	sh.appended++ // under sh.mu, so no shared cache line bounces per append
 	if db.retention > 0 {
-		cutoff := p.Time - db.retention
-		s.truncateBefore(cutoff)
+		s.truncateBefore(p.Time - db.retention)
 	}
 	return nil
 }
 
-// AppendBatch inserts every point in one pass under a single lock
-// acquisition, returning the first error encountered (but attempting all
-// points regardless). It implements telemetry.Sink.
+// batchBuffers is the pooled scratch AppendBatch groups a batch with: the
+// per-point identity hashes and the counting-sorted point order.
+type batchBuffers struct {
+	hs    []uint64
+	order []int32
+}
+
+var batchScratch = sync.Pool{New: func() interface{} { return new(batchBuffers) }}
+
+// AppendBatch inserts every point in one grouped pass: a counting sort by
+// shard visits each point exactly once, then each touched shard is locked
+// exactly once and its points appended in original batch order. The
+// earliest-indexed error is returned (but all points are attempted). It
+// implements telemetry.Sink.
 func (db *DB) AppendBatch(pts []telemetry.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	scratch := batchScratch.Get().(*batchBuffers)
+	if cap(scratch.hs) < len(pts) {
+		scratch.hs = make([]uint64, len(pts))
+		scratch.order = make([]int32, len(pts))
+	}
+	hs := scratch.hs[:len(pts)]
+	order := scratch.order[:len(pts)]
+	var counts [numShards]int32
+	for i := range pts {
+		hs[i] = identityOf(&pts[i])
+		counts[shardIndex(hs[i])]++
+	}
+	// counts -> start offsets; filling order in point order keeps each
+	// shard's slice sorted by original batch index.
+	var offsets [numShards]int32
+	var sum int32
+	for si := range counts {
+		offsets[si] = sum
+		sum += counts[si]
+	}
+	fill := offsets
+	for i := range pts {
+		si := shardIndex(hs[i])
+		order[fill[si]] = int32(i)
+		fill[si]++
+	}
 	var first error
-	for _, p := range pts {
-		if err := db.appendLocked(p); err != nil && first == nil {
-			first = err
+	firstAt := int32(len(pts))
+	for si := 0; si < numShards; si++ {
+		if counts[si] == 0 {
+			continue
 		}
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for _, i := range order[offsets[si] : offsets[si]+counts[si]] {
+			if err := db.appendLocked(sh, &pts[i], hs[i]); err != nil && i < firstAt {
+				first, firstAt = err, i
+			}
+		}
+		sh.mu.Unlock()
 	}
+	batchScratch.Put(scratch)
 	return first
-}
-
-// truncateBefore drops samples strictly older than cutoff.
-func (s *memSeries) truncateBefore(cutoff time.Duration) {
-	live := s.live()
-	i := sort.Search(len(live), func(i int) bool { return live[i].Time >= cutoff })
-	if i == 0 {
-		return
-	}
-	s.head += i
-	if s.head > len(s.samples)-s.head {
-		n := copy(s.samples, s.samples[s.head:])
-		s.samples = s.samples[:n]
-		s.head = 0
-	}
 }
 
 // Appended reports the total number of samples stored since creation
 // (overwrites of an existing tail timestamp do not count).
 func (db *DB) Appended() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.appended
+	var n uint64
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += sh.appended
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // NumSeries reports the current series cardinality.
 func (db *DB) NumSeries() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, fams := range db.byName {
-		n += len(fams)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, fams := range sh.byName {
+			n += len(fams)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // MetricNames returns all metric names in sorted order.
 func (db *DB) MetricNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.byName))
-	for n := range db.byName {
+	db.nameMu.Lock()
+	names := make([]string, 0, len(db.names))
+	for n := range db.names {
 		names = append(names, n)
 	}
+	db.nameMu.Unlock()
 	sort.Strings(names)
 	return names
 }
 
-// Query returns, for the metric name, every series whose labels match the
-// matcher, restricted to samples in [from, to]. Series are returned sorted by
-// label key so that results are deterministic. The returned series share no
-// storage with the database.
-func (db *DB) Query(name string, matcher telemetry.Labels, from, to time.Duration) []telemetry.Series {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	fams := db.byName[name]
-	if fams == nil {
+// forEachMatch invokes visit under each shard's read lock for every series
+// matching (name, matcher), resolving candidates through the inverted label
+// index. Visit order is unspecified (shard then map order); callers that
+// return data must sort by series label key for determinism.
+func (db *DB) forEachMatch(name string, matcher telemetry.Labels, visit func(*memSeries)) {
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		fams, list, ok := sh.candidates(name, matcher)
+		if ok {
+			if fams != nil {
+				for _, s := range fams {
+					if s.labels.Matches(matcher) {
+						visit(s)
+					}
+				}
+			} else {
+				for _, s := range list {
+					if s.name == name && s.labels.Matches(matcher) {
+						visit(s)
+					}
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// collectSeries visits every series matching (name, matcher) under its
+// shard's read lock. fn returns the samples to keep (copied out under the
+// lock) or keep=false to drop the series. Results are sorted by label key,
+// so every query path is deterministic regardless of shard and map
+// iteration order.
+func (db *DB) collectSeries(name string, matcher telemetry.Labels, fn func(*memSeries) (samples []telemetry.Sample, keep bool)) []telemetry.Series {
+	type item struct {
+		key string
+		s   telemetry.Series
+	}
+	var items []item
+	db.forEachMatch(name, matcher, func(s *memSeries) {
+		if samples, keep := fn(s); keep {
+			items = append(items, item{s.key, telemetry.Series{Name: name, Labels: s.labels.Clone(), Samples: samples}})
+		}
+	})
+	if len(items) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(fams))
-	for k, s := range fams {
-		if s.labels.Matches(matcher) {
-			keys = append(keys, k)
-		}
+	sort.Slice(items, func(a, b int) bool { return items[a].key < items[b].key })
+	out := make([]telemetry.Series, len(items))
+	for i := range items {
+		out[i] = items[i].s
 	}
-	sort.Strings(keys)
-	var out []telemetry.Series
-	for _, k := range keys {
-		s := fams[k]
+	return out
+}
+
+// Query returns, for the metric name, every series whose labels match the
+// matcher, restricted to samples in [from, to]. Label matchers resolve
+// through the inverted index (postings intersection) instead of scanning
+// every series of the metric, and the time range is binary-searched inside
+// each series. Series are returned sorted by label key so that results are
+// deterministic. The returned series share no storage with the database.
+func (db *DB) Query(name string, matcher telemetry.Labels, from, to time.Duration) []telemetry.Series {
+	return db.collectSeries(name, matcher, func(s *memSeries) ([]telemetry.Sample, bool) {
 		live := s.live()
-		lo := sort.Search(len(live), func(i int) bool { return live[i].Time >= from })
-		hi := sort.Search(len(live), func(i int) bool { return live[i].Time > to })
+		lo, hi := rangeBounds(live, from, to)
 		if lo >= hi {
-			continue
+			return nil, false
 		}
 		cp := make([]telemetry.Sample, hi-lo)
 		copy(cp, live[lo:hi])
-		out = append(out, telemetry.Series{Name: name, Labels: s.labels.Clone(), Samples: cp})
-	}
-	return out
+		return cp, true
+	})
 }
 
 // QueryOne is Query for callers expecting exactly one matching series; it
@@ -207,37 +310,49 @@ func (db *DB) QueryOne(name string, matcher telemetry.Labels, from, to time.Dura
 	return ss[0], true
 }
 
-// Latest returns the most recent sample of every matching series.
+// Latest returns the most recent sample of every matching series, reading
+// each series' tail directly — no sample window is copied or scanned.
 func (db *DB) Latest(name string, matcher telemetry.Labels) []telemetry.Point {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	fams := db.byName[name]
-	if fams == nil {
+	type item struct {
+		key string
+		p   telemetry.Point
+	}
+	var items []item
+	db.forEachMatch(name, matcher, func(s *memSeries) {
+		live := s.live()
+		if len(live) == 0 {
+			return
+		}
+		last := live[len(live)-1]
+		items = append(items, item{s.key, telemetry.Point{Name: name, Labels: s.labels.Clone(), Time: last.Time, Value: last.Value}})
+	})
+	if len(items) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(fams))
-	for k, s := range fams {
-		if s.labels.Matches(matcher) && len(s.live()) > 0 {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	out := make([]telemetry.Point, 0, len(keys))
-	for _, k := range keys {
-		s := fams[k]
-		live := s.live()
-		last := live[len(live)-1]
-		out = append(out, telemetry.Point{Name: name, Labels: s.labels.Clone(), Time: last.Time, Value: last.Value})
+	sort.Slice(items, func(a, b int) bool { return items[a].key < items[b].key })
+	out := make([]telemetry.Point, len(items))
+	for i := range items {
+		out[i] = items[i].p
 	}
 	return out
 }
 
-// LatestValue returns the newest value of the single series matching
-// (name, matcher), or ok=false when none matches.
+// LatestValue returns the newest value of the last matching series in label
+// key order (the single series' value when exactly one matches), or
+// ok=false when none matches. Unlike Latest it allocates nothing: the
+// matching series' tails are read in place.
 func (db *DB) LatestValue(name string, matcher telemetry.Labels) (float64, bool) {
-	pts := db.Latest(name, matcher)
-	if len(pts) == 0 {
-		return 0, false
-	}
-	return pts[len(pts)-1].Value, true
+	var bestKey string
+	var val float64
+	found := false
+	db.forEachMatch(name, matcher, func(s *memSeries) {
+		live := s.live()
+		if len(live) == 0 {
+			return
+		}
+		if !found || s.key > bestKey {
+			bestKey, val, found = s.key, live[len(live)-1].Value, true
+		}
+	})
+	return val, found
 }
