@@ -12,6 +12,12 @@ go test -run='^$' -bench='^BenchmarkBusDispatch$' -benchtime=1000x -count="$coun
 go test -run='^$' -bench='^BenchmarkTelemetryIngest$' -benchtime=100x -count="$count" ./internal/tsdb
 go test -run='^$' -bench='^BenchmarkQueryMatcher$' -benchtime=50x -count="$count" ./internal/tsdb
 go test -run='^$' -bench='^BenchmarkShardedAppend$' -benchtime=100000x -count="$count" ./internal/tsdb
+go test -run='^$' -bench='^BenchmarkWindowQuery$' -benchtime=2000x -count="$count" ./internal/tsdb
+# Detector stepping is every loop's per-tick inner loop. Only the streaming
+# rows run here (benchgate gates every shared benchmark name, so the noisy
+# O(W log W) naive baselines are kept out of CI); run the full
+# BenchmarkDetectorStep locally for the incremental-vs-naive comparison.
+go test -run='^$' -bench='^BenchmarkDetectorStep$/.*/.*/^(incremental|quickselect)$' -benchtime=5000x -count="$count" ./internal/analytics
 # Only the 1000-loop shape: the small sub-benchmarks are too short to gate
 # on a shared CI box without false positives.
 go test -run='^$' -bench='^BenchmarkFleetTick$/^loops=1000$' -benchtime=5x -count="$count" ./internal/fleet

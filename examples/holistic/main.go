@@ -102,20 +102,24 @@ func main() {
 	// --- operational data analytics over the combined stream ---
 	pueDetector := analytics.NewCUSUM(10, 0.005, 0.05)
 	found := map[string]time.Duration{}
+	// The ODA poll reads through the zero-copy LatestInto surface into
+	// buffers reused across ticks — steady-state polling allocates nothing.
+	var ptsBuf []telemetry.Point
+	var vals []float64
 	engine.Every(time.Minute, time.Minute, func() bool {
 		now := engine.Now()
-		if temps := db.Latest("node.temp.celsius", nil); len(temps) > 4 {
-			vals := make([]float64, len(temps))
-			for i, p := range temps {
-				vals[i] = p.Value
+		if ptsBuf = db.LatestInto(ptsBuf[:0], "node.temp.celsius", nil); len(ptsBuf) > 4 {
+			vals = vals[:0]
+			for _, p := range ptsBuf {
+				vals = append(vals, p.Value)
 			}
 			if len(analytics.MADOutliers(vals, 6, 1)) > 0 {
 				mark(found, "hardware: node temperature outlier", now)
 			}
 		}
-		if lats := db.Latest("pfs.ost.lat_ms", nil); len(lats) >= 4 {
-			var vals []float64
-			for _, p := range lats {
+		if ptsBuf = db.LatestInto(ptsBuf[:0], "pfs.ost.lat_ms", nil); len(ptsBuf) >= 4 {
+			vals = vals[:0]
+			for _, p := range ptsBuf {
 				if p.Value > 0.1 {
 					vals = append(vals, p.Value)
 				}
@@ -124,7 +128,8 @@ func main() {
 				mark(found, "storage: OST latency outlier", now)
 			}
 		}
-		for _, p := range db.Latest("app.ctx_switch_rate", nil) {
+		ptsBuf = db.LatestInto(ptsBuf[:0], "app.ctx_switch_rate", nil)
+		for _, p := range ptsBuf {
 			if p.Value > 20000 {
 				mark(found, "application: context-switch storm", now)
 			}

@@ -2,10 +2,19 @@ package analytics
 
 import (
 	"math"
-	"sort"
+	"sync"
 )
 
 // Detector is a streaming anomaly detector over a univariate series.
+//
+// Every windowed detector here steps in amortized O(1)-ish time with zero
+// steady-state allocations: detector stepping is the inner loop of every
+// autonomy loop's Analyze phase, so at fleet scale (thousands of loops per
+// monitoring tick) a per-observation rescan or sort would dominate tick
+// latency. Decision semantics are identical to the naive rescan reference
+// (compare-before-insert, degenerate zero-spread paths, MinN gating): the
+// rolling state falls back to an exact recompute wherever floating-point
+// drift could change a decision.
 type Detector interface {
 	// Step feeds one observation and reports whether it is anomalous.
 	Step(v float64) bool
@@ -15,12 +24,49 @@ type Detector interface {
 
 // ZScore flags observations more than Threshold standard deviations from the
 // mean of a sliding window. It needs MinN observations before it fires.
+//
+// The window mean and variance are maintained as rolling sums over a ring
+// buffer — O(1) per observation instead of rescanning the window — with an
+// exact recompute every Window steps (and whenever the rolling variance
+// cancels to zero or the window holds non-finite values) for numerical
+// safety.
 type ZScore struct {
 	Window    int
 	Threshold float64
 	MinN      int
 
-	vals []float64
+	ring    []float64
+	head, n int
+	// sum and sumsq accumulate (v - pivot) and (v - pivot)², centered so
+	// that cancellation scales with the window's spread rather than with its
+	// absolute level (progress counters sit at 1e6 with unit noise; raw
+	// sums of squares would drown the variance in rounding error). The pivot
+	// re-anchors to a current window value at every periodic recompute.
+	sum, sumsq float64
+	pivot      float64
+	// peak is the largest sumsq since the last recompute: rolling error is
+	// bounded by ~Window*eps*peak, so after a large-magnitude burst leaves
+	// the window, stats divert to the exact path until a recompute
+	// re-anchors (small contributions absorbed into a huge sumsq and then
+	// "uncovered" by cancellation are pure noise).
+	peak float64
+	// nonFinite counts NaN/±Inf values in the window: they poison rolling
+	// sums beyond eviction, so stats are computed exactly while any are
+	// present and the sums are rebuilt when the last one leaves.
+	nonFinite int
+	// constRun is the length of the trailing run of identical observations;
+	// constRun >= n means the window is constant, the one case where the
+	// reference's s==0 degenerate path can fire and rolling cancellation
+	// cannot be trusted.
+	constRun int
+	lastV    float64
+	// toRecompute counts down to the periodic exact rebuild of the sums.
+	toRecompute int
+	// Cached exact stats for a constant window, keyed by (value, length), so
+	// long constant stretches stay O(1) per step.
+	constN              int
+	constOf             float64
+	constMean, constStd float64
 }
 
 // NewZScore returns a z-score detector (window, threshold sigma, minimum
@@ -32,41 +78,178 @@ func NewZScore(window int, threshold float64, minN int) *ZScore {
 	if minN < 2 {
 		minN = 2
 	}
-	return &ZScore{Window: window, Threshold: threshold, MinN: minN}
+	return &ZScore{Window: window, Threshold: threshold, MinN: minN, ring: make([]float64, window)}
 }
 
 // Step implements Detector: v is compared against the window *before* v is
 // added, so a level shift fires on its first sample.
 func (z *ZScore) Step(v float64) bool {
-	defer func() {
-		z.vals = append(z.vals, v)
-		if len(z.vals) > z.Window {
-			z.vals = z.vals[1:]
+	if z.ring == nil {
+		w := z.Window
+		if w < 2 {
+			w = 2
 		}
-	}()
-	if len(z.vals) < z.MinN {
-		return false
+		z.ring = make([]float64, w)
 	}
-	m := meanOf(z.vals)
-	s := stddevOf(z.vals, m)
-	if s == 0 {
-		return v != m
+	fire := false
+	if z.n >= z.MinN {
+		m, s := z.stats()
+		if s == 0 {
+			fire = v != m
+		} else {
+			fire = math.Abs(v-m)/s > z.Threshold
+		}
 	}
-	return math.Abs(v-m)/s > z.Threshold
+	z.push(v)
+	return fire
 }
 
-// Reset implements Detector.
-func (z *ZScore) Reset() { z.vals = nil }
+// ulpEps is the double-precision unit roundoff, the scale of both the
+// rolling sums' drift and the naive reference's own two-pass noise.
+const ulpEps = 2.3e-16
+
+// stats returns the current window mean and sample standard deviation.
+func (z *ZScore) stats() (m, s float64) {
+	if z.nonFinite > 0 {
+		return z.exactStats()
+	}
+	if z.constRun >= z.n {
+		// Constant window: take (and cache) the exact path so the reference's
+		// s==0 decision branch is reproduced bit for bit.
+		if z.constN == z.n && z.constOf == z.lastV {
+			return z.constMean, z.constStd
+		}
+		m, s = z.exactStats()
+		z.constN, z.constOf, z.constMean, z.constStd = z.n, z.lastV, m, s
+		return m, s
+	}
+	fn := float64(z.n)
+	m = z.pivot + z.sum/fn
+	ss := z.sumsq - z.sum*z.sum/fn
+	// Degenerate-window guards: fall back to the exact two-pass whenever the
+	// rolling sums (cancelled to or below their own drift scale) or the
+	// reference arithmetic (spread at the rounding noise of the mean's
+	// magnitude, where a rescan's answer is itself noise) cannot be trusted.
+	// Both floors are far below any statistically meaningful spread, so real
+	// signals stay on the O(1) path.
+	naiveFloor := fn * ulpEps * m
+	drift := float64(len(z.ring)) * ulpEps * z.peak * 1e4
+	if ss <= 0 || ss <= drift || ss <= fn*naiveFloor*naiveFloor*100 {
+		return z.exactStats()
+	}
+	return m, math.Sqrt(ss / (fn - 1))
+}
+
+// exactStats is the reference two-pass mean/stddev over the window in
+// arrival order — identical arithmetic to the naive rescan.
+func (z *ZScore) exactStats() (m, s float64) {
+	w := len(z.ring)
+	sum := 0.0
+	for i := 0; i < z.n; i++ {
+		sum += z.ring[(z.head+i)%w]
+	}
+	m = sum / float64(z.n)
+	if z.n < 2 {
+		return m, 0
+	}
+	ss := 0.0
+	for i := 0; i < z.n; i++ {
+		d := z.ring[(z.head+i)%w] - m
+		ss += d * d
+	}
+	return m, math.Sqrt(ss / float64(z.n-1))
+}
+
+// push slides the window over v, maintaining the centered rolling sums.
+func (z *ZScore) push(v float64) {
+	w := len(z.ring)
+	if z.n == w {
+		old := z.ring[z.head]
+		z.head++
+		if z.head == w {
+			z.head = 0
+		}
+		z.n--
+		a := old - z.pivot
+		z.sum -= a
+		z.sumsq -= a * a
+		if isNonFinite(old) {
+			if z.nonFinite--; z.nonFinite == 0 {
+				z.recompute()
+			}
+		}
+	}
+	pos := z.head + z.n
+	if pos >= w {
+		pos -= w
+	}
+	z.ring[pos] = v
+	if z.n == 0 {
+		z.pivot = v
+		if isNonFinite(v) {
+			z.pivot = 0
+		}
+	}
+	z.n++
+	a := v - z.pivot
+	z.sum += a
+	z.sumsq += a * a
+	if z.sumsq > z.peak {
+		z.peak = z.sumsq
+	}
+	if isNonFinite(v) {
+		z.nonFinite++
+	}
+	if z.constRun > 0 && v == z.lastV {
+		z.constRun++
+	} else {
+		z.constRun = 1
+	}
+	z.lastV = v
+	if z.toRecompute--; z.toRecompute <= 0 {
+		if z.nonFinite == 0 {
+			z.recompute()
+		}
+		z.toRecompute = w
+	}
+}
+
+// recompute re-anchors the pivot to a current window value and rebuilds the
+// rolling sums exactly from the ring, bounding drift to one window's worth
+// of updates.
+func (z *ZScore) recompute() {
+	w := len(z.ring)
+	if z.n > 0 {
+		z.pivot = z.ring[z.head]
+	}
+	z.sum, z.sumsq = 0, 0
+	for i := 0; i < z.n; i++ {
+		a := z.ring[(z.head+i)%w] - z.pivot
+		z.sum += a
+		z.sumsq += a * a
+	}
+	z.peak = z.sumsq
+}
+
+// Reset implements Detector, retaining the window's capacity.
+func (z *ZScore) Reset() {
+	z.head, z.n, z.sum, z.sumsq, z.peak = 0, 0, 0, 0, 0
+	z.nonFinite, z.constRun, z.toRecompute, z.constN = 0, 0, 0, 0
+}
 
 // MAD flags observations whose distance from the window median exceeds
 // Threshold x MAD (median absolute deviation), the robust detector used for
 // fleet outliers (one slow OST among sixteen).
+//
+// The window is kept in a sorted sliding structure, so each step reads the
+// median directly and selects the deviation median by a bounded merge walk —
+// no per-observation sorting or allocation.
 type MAD struct {
 	Window    int
 	Threshold float64
 	MinN      int
 
-	vals []float64
+	win sortedWindow
 }
 
 // NewMAD returns a MAD detector.
@@ -77,35 +260,43 @@ func NewMAD(window int, threshold float64, minN int) *MAD {
 	if minN < 3 {
 		minN = 3
 	}
-	return &MAD{Window: window, Threshold: threshold, MinN: minN}
+	m := &MAD{Window: window, Threshold: threshold, MinN: minN}
+	m.win.init(window)
+	return m
 }
 
 // Step implements Detector (comparison precedes insertion, as in ZScore).
 func (m *MAD) Step(v float64) bool {
-	defer func() {
-		m.vals = append(m.vals, v)
-		if len(m.vals) > m.Window {
-			m.vals = m.vals[1:]
+	if m.win.ring == nil {
+		w := m.Window
+		if w < 3 {
+			w = 3
 		}
-	}()
-	if len(m.vals) < m.MinN {
-		return false
+		m.win.init(w)
 	}
-	med, mad := medianMAD(m.vals)
-	if mad == 0 {
-		return v != med
+	fire := false
+	if m.win.n >= m.MinN {
+		med, mad := m.win.medianMAD()
+		if mad == 0 {
+			fire = v != med
+		} else {
+			// 1.4826 scales MAD to the stddev of a normal distribution.
+			fire = math.Abs(v-med)/(1.4826*mad) > m.Threshold
+		}
 	}
-	// 1.4826 scales MAD to the stddev of a normal distribution.
-	return math.Abs(v-med)/(1.4826*mad) > m.Threshold
+	m.win.push(v)
+	return fire
 }
 
-// Reset implements Detector.
-func (m *MAD) Reset() { m.vals = nil }
+// Reset implements Detector, retaining the window's capacity.
+func (m *MAD) Reset() { m.win.reset() }
 
 // MADOutliers returns the indices of fleet members whose value deviates from
 // the fleet median by more than threshold x scaled MAD — the cross-sectional
 // form used to pick out a degraded OST from its peers. direction < 0 flags
-// only low outliers, > 0 only high ones, 0 both.
+// only low outliers, > 0 only high ones, 0 both. It allocates only for the
+// returned indices: the median and MAD are selected in place over a pooled
+// scratch copy, never by sorting.
 func MADOutliers(values []float64, threshold float64, direction int) []int {
 	if len(values) < 3 {
 		return nil
@@ -213,17 +404,31 @@ func stddevOf(vals []float64, mean float64) float64 {
 	return math.Sqrt(s / float64(len(vals)-1))
 }
 
+// selScratch pools the partition buffer behind medianMAD, so the per-tick
+// cross-sectional outlier scans (one per fleet per loop) allocate nothing in
+// steady state.
+var selScratch = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+// medianMAD returns the median and median absolute deviation of vals, leaving
+// vals untouched. Both quantiles are quickselected over one pooled scratch
+// buffer — two O(n) selections instead of the two O(n log n) sorts (and two
+// allocations) of the sort-based form, with identical results: selection
+// yields the same order statistics, interpolated by the same formula.
 func medianMAD(vals []float64) (median, mad float64) {
-	sorted := make([]float64, len(vals))
-	copy(sorted, vals)
-	sort.Float64s(sorted)
-	median = quantileSorted(sorted, 0.5)
-	devs := make([]float64, len(vals))
-	for i, v := range vals {
-		devs[i] = math.Abs(v - median)
+	bp := selScratch.Get().(*[]float64)
+	buf := *bp
+	if cap(buf) < len(vals) {
+		buf = make([]float64, len(vals))
 	}
-	sort.Float64s(devs)
-	mad = quantileSorted(devs, 0.5)
+	buf = buf[:len(vals)]
+	copy(buf, vals)
+	median = quantileSelect(buf, 0.5)
+	for i, v := range vals {
+		buf[i] = math.Abs(v - median)
+	}
+	mad = quantileSelect(buf, 0.5)
+	*bp = buf
+	selScratch.Put(bp)
 	return median, mad
 }
 
@@ -240,4 +445,78 @@ func quantileSorted(sorted []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// quantileSelect is quantileSorted without the sort: it partitions a around
+// the needed order statistics in place (sort.Float64s ordering, NaNs first)
+// and interpolates exactly as quantileSorted would.
+func quantileSelect(a []float64, q float64) float64 {
+	n := len(a)
+	if n == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	loV := selectKth(a, lo)
+	if lo == hi {
+		return loV
+	}
+	// selectKth left a fully partitioned: the hi-th order statistic is the
+	// minimum of the right partition.
+	hiV := a[lo+1]
+	for _, v := range a[lo+2:] {
+		if fltLess(v, hiV) {
+			hiV = v
+		}
+	}
+	frac := pos - float64(lo)
+	return loV*(1-frac) + hiV*frac
+}
+
+// selectKth partitions a in place so that a[k] is the k-th order statistic in
+// fltLess order, everything before it orders no higher, and everything after
+// it no lower. Iterative Hoare quickselect with a median-of-three pivot.
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if fltLess(a[mid], a[lo]) {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if fltLess(a[hi], a[lo]) {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if fltLess(a[hi], a[mid]) {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		// Hoare partition; a[lo] <= pivot <= a[hi] act as sentinels, so the
+		// inner scans cannot leave the range.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !fltLess(a[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !fltLess(pivot, a[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return a[k]
 }

@@ -1,0 +1,83 @@
+package analytics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDetectorStep measures one detector observation for the streaming
+// engine against the retained naive (rescan/re-sort per step) reference, at
+// a small and a large window. The incremental rows are the gated numbers;
+// the naive rows document the gap the engine buys (O(W)–O(W log W) per step
+// plus allocations vs amortized O(1) and none).
+func BenchmarkDetectorStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = 100 + rng.NormFloat64()*5
+	}
+	for _, w := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("zscore/w=%d/incremental", w), func(b *testing.B) {
+			d := NewZScore(w, 3, 5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Step(data[i&(len(data)-1)])
+			}
+		})
+		b.Run(fmt.Sprintf("zscore/w=%d/naive", w), func(b *testing.B) {
+			d := &naiveZScore{Window: w, Threshold: 3, MinN: 5}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Step(data[i&(len(data)-1)])
+			}
+		})
+		b.Run(fmt.Sprintf("mad/w=%d/incremental", w), func(b *testing.B) {
+			d := NewMAD(w, 4, 5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Step(data[i&(len(data)-1)])
+			}
+		})
+		b.Run(fmt.Sprintf("mad/w=%d/naive", w), func(b *testing.B) {
+			d := &naiveMAD{Window: w, Threshold: 4, MinN: 5}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Step(data[i&(len(data)-1)])
+			}
+		})
+		b.Run(fmt.Sprintf("ols/w=%d/incremental", w), func(b *testing.B) {
+			d := NewWindowOLS(w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Observe(float64(i), data[i&(len(data)-1)])
+				d.Fit()
+			}
+		})
+		b.Run(fmt.Sprintf("ols/w=%d/naive", w), func(b *testing.B) {
+			d := &naiveWindowOLS{Window: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Observe(float64(i), data[i&(len(data)-1)])
+				d.Fit()
+			}
+		})
+	}
+	// The cross-sectional scan every fleet loop runs per tick.
+	fleet := make([]float64, 64)
+	for i := range fleet {
+		fleet[i] = 100 + rng.NormFloat64()
+	}
+	b.Run("madoutliers/n=64/quickselect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MADOutliers(fleet, 50, 0)
+		}
+	})
+	b.Run("madoutliers/n=64/sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			naiveMADOutliers(fleet, 50, 0)
+		}
+	})
+}

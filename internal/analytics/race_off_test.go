@@ -1,0 +1,5 @@
+//go:build !race
+
+package analytics
+
+const raceEnabled = false

@@ -1,0 +1,162 @@
+package analytics
+
+import (
+	"math"
+	"sort"
+)
+
+// fltLess orders float64s exactly as sort.Float64s does: NaNs first, then
+// ascending. Every order-statistic structure in this package uses it so that
+// incremental results are bit-compatible with a sort-based reference.
+func fltLess(x, y float64) bool {
+	return x < y || (math.IsNaN(x) && !math.IsNaN(y))
+}
+
+// isNonFinite reports whether v is NaN or ±Inf — the values that poison
+// rolling sums and force the detectors onto their exact (reference) paths.
+func isNonFinite(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// sortedWindow maintains the last W observations of a stream twice: in
+// arrival order (a ring, so the evicted value is known in O(1)) and in the
+// exact order sort.Float64s would produce (NaNs first, then ascending), so
+// order statistics of the current window never require a re-sort.
+//
+// Insert and evict find their position by binary search (O(log W)) and shift
+// with copy; one slide costs a bounded memmove and no allocation, versus the
+// two O(W log W) sorts plus two allocations per observation of the naive
+// median/MAD detectors this structure replaces.
+type sortedWindow struct {
+	ring   []float64 // arrival order; ring[(head+i)%W] is the i-th oldest
+	sorted []float64 // the same multiset, in sort.Float64s order
+	head   int
+	n      int
+	// nonFinite counts NaN/±Inf values currently in the window; while it is
+	// nonzero medianMAD takes the exact sort-based deviation path so IEEE
+	// propagation matches the naive reference bit for bit.
+	nonFinite int
+	// devs is the exact path's deviation scratch, allocated on first use.
+	devs []float64
+}
+
+// init sizes the window for w observations, reusing prior capacity.
+func (sw *sortedWindow) init(w int) {
+	if cap(sw.ring) < w {
+		sw.ring = make([]float64, w)
+		sw.sorted = make([]float64, 0, w)
+	}
+	sw.ring = sw.ring[:w]
+	sw.reset()
+}
+
+// reset empties the window without releasing its arrays.
+func (sw *sortedWindow) reset() {
+	sw.head, sw.n, sw.nonFinite = 0, 0, 0
+	sw.sorted = sw.sorted[:0]
+}
+
+// push appends v, evicting the oldest observation once the window is full.
+func (sw *sortedWindow) push(v float64) {
+	w := len(sw.ring)
+	if sw.n == w {
+		old := sw.ring[sw.head]
+		sw.head++
+		if sw.head == w {
+			sw.head = 0
+		}
+		sw.n--
+		sw.removeSorted(old)
+		if isNonFinite(old) {
+			sw.nonFinite--
+		}
+	}
+	pos := sw.head + sw.n
+	if pos >= w {
+		pos -= w
+	}
+	sw.ring[pos] = v
+	sw.insertSorted(v)
+	if isNonFinite(v) {
+		sw.nonFinite++
+	}
+	sw.n++
+}
+
+// insertSorted places v at its sort.Float64s position.
+func (sw *sortedWindow) insertSorted(v float64) {
+	s := sw.sorted
+	i := sort.Search(len(s), func(i int) bool { return !fltLess(s[i], v) })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	sw.sorted = s
+}
+
+// removeSorted drops one element equivalent to v (ordering-equal values such
+// as ±0 or two NaNs are interchangeable for every quantile computed here).
+func (sw *sortedWindow) removeSorted(v float64) {
+	s := sw.sorted
+	i := sort.Search(len(s), func(i int) bool { return !fltLess(s[i], v) })
+	copy(s[i:], s[i+1:])
+	sw.sorted = s[:len(s)-1]
+}
+
+// medianMAD returns the window's median and median absolute deviation with
+// the same interpolation (and therefore the same bits) as sorting the window
+// and its deviations would produce, without sorting either: the median reads
+// the sorted ring directly, and the deviation quantile is selected by merging
+// the two deviation sequences that fan out from the median — each already
+// sorted — until the target ranks are reached.
+func (sw *sortedWindow) medianMAD() (median, mad float64) {
+	n := sw.n
+	s := sw.sorted[:n]
+	median = quantileSorted(s, 0.5)
+	if sw.nonFinite > 0 {
+		// NaN/Inf deviations do not interleave predictably with finite ones
+		// (|Inf-Inf| is NaN); defer to the exact sort-based path.
+		return median, sw.exactMAD(median)
+	}
+	pos := 0.5 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	// Values below the median yield deviations median-s[i], ascending as i
+	// walks left from the split; values at or above it yield s[j]-median,
+	// ascending as j walks right. Merge the two runs to the hi-th rank.
+	split := sort.SearchFloat64s(s, median)
+	i, j := split-1, split
+	var dLo, dHi float64
+	for k := 0; k <= hi; k++ {
+		var d float64
+		if i >= 0 && (j >= n || median-s[i] <= s[j]-median) {
+			d = median - s[i]
+			i--
+		} else {
+			d = s[j] - median
+			j++
+		}
+		if k == lo {
+			dLo = d
+		}
+		dHi = d
+	}
+	if lo == hi {
+		return median, dHi
+	}
+	frac := pos - float64(lo)
+	return median, dLo*(1-frac) + dHi*frac
+}
+
+// exactMAD is the non-finite fallback: materialize |v-median| into scratch,
+// sort, and take the interpolated median — the naive computation verbatim.
+func (sw *sortedWindow) exactMAD(median float64) float64 {
+	if cap(sw.devs) < sw.n {
+		sw.devs = make([]float64, sw.n)
+	}
+	devs := sw.devs[:sw.n]
+	for i, v := range sw.sorted[:sw.n] {
+		devs[i] = math.Abs(v - median)
+	}
+	sort.Float64s(devs)
+	return quantileSorted(devs, 0.5)
+}

@@ -63,8 +63,8 @@ func (e *TTCEstimator) Reset() { e.ols.Reset() }
 // of rate uncertainty (1.96 for ~95%). It degrades gracefully: without a
 // total or rate it returns a non-OK estimate.
 func (e *TTCEstimator) Estimate(z float64) TTC {
-	_, slope, resStd, ok := e.ols.Fit()
-	n := len(e.ols.ts)
+	_, slope, resStd, sxx, ok := e.ols.fit()
+	n := e.ols.Len()
 	if !ok || !e.haveTotal || slope <= 0 {
 		return TTC{N: n}
 	}
@@ -75,17 +75,8 @@ func (e *TTCEstimator) Estimate(z float64) TTC {
 	mean := left / slope
 
 	// Rate uncertainty: propagate the OLS slope's standard error into the
-	// remaining-time estimate. SE(slope) = resStd / sqrt(Sxx).
-	var sxx float64
-	mt := 0.0
-	for _, t := range e.ols.ts {
-		mt += t
-	}
-	mt /= float64(n)
-	for _, t := range e.ols.ts {
-		d := t - mt
-		sxx += d * d
-	}
+	// remaining-time estimate. SE(slope) = resStd / sqrt(Sxx); the fit
+	// already carries the centered time spread, so no pass over the window.
 	rateSE := 0.0
 	if sxx > 0 {
 		rateSE = resStd / math.Sqrt(sxx)

@@ -12,11 +12,7 @@ import (
 // replayed over history). It is the Analyze side of the telemetry.Querier
 // surface: operators never touch the store directly.
 func WindowValues(q telemetry.Querier, name string, matcher telemetry.Labels, from, to time.Duration) []float64 {
-	var out []float64
-	for _, s := range q.Query(name, matcher, from, to) {
-		out = append(out, s.Values()...)
-	}
-	return out
+	return q.WindowInto(nil, name, matcher, from, to)
 }
 
 // Replay feeds every sample of s into f in time order, so a fresh forecaster

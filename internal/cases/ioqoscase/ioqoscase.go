@@ -200,10 +200,15 @@ func (c *Controller) childLoop(t Tenant) *core.Loop {
 // against objectives and reallocates bandwidth — throttling best-effort
 // offenders when a deadline tenant suffers, and regrowing them when healthy.
 func (c *Controller) parentLoop() *core.Loop {
+	// The monitor fills one buffer, reused across ticks, through the
+	// zero-copy LatestInto surface (the loop drops observations after
+	// Analyze, so the backing array is safe to recycle).
+	var ptsBuf []telemetry.Point
 	monitor := core.MonitorFunc(func(now time.Duration) (core.Observation, error) {
 		obs := core.Observation{Time: now}
-		obs.Points = append(obs.Points, c.db.Latest("pfs.tenant.lat_ms", nil)...)
-		obs.Points = append(obs.Points, c.db.Latest("pfs.tenant.mbps", nil)...)
+		ptsBuf = c.db.LatestInto(ptsBuf[:0], "pfs.tenant.lat_ms", nil)
+		ptsBuf = c.db.LatestInto(ptsBuf, "pfs.tenant.mbps", nil)
+		obs.Points = ptsBuf
 		return obs, nil
 	})
 	analyzer := core.AnalyzerFunc(func(now time.Duration, obs core.Observation) (core.Symptoms, error) {

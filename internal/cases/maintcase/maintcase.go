@@ -80,9 +80,18 @@ func (c *Controller) observe(now time.Duration) (core.Observation, error) {
 	})
 	for _, j := range c.sch.Running() {
 		label := telemetry.Labels{"job": strconv.Itoa(j.ID)}
-		if s, ok := c.db.QueryOne("app.progress", label, now-c.cfg.LeadTime, now); ok && s.Len() >= 2 {
+		// Rate needs only the window's endpoints, so the progress series is
+		// reduced during the visit instead of being copied out of the store.
+		matches, n := 0, 0
+		var rate float64
+		c.db.QueryVisit("app.progress", label, now-c.cfg.LeadTime, now, func(_ telemetry.Labels, samples []telemetry.Sample) {
+			matches++
+			n = len(samples)
+			rate = tsdb.Rate(telemetry.Series{Samples: samples})
+		})
+		if matches == 1 && n >= 2 {
 			obs.Points = append(obs.Points, telemetry.Point{
-				Name: "app.progress.rate", Labels: label, Time: now, Value: tsdb.Rate(s),
+				Name: "app.progress.rate", Labels: label, Time: now, Value: rate,
 			})
 		}
 	}

@@ -55,6 +55,14 @@ type Controller struct {
 	// avoided remembers OSTs already being avoided.
 	avoided map[int]bool
 
+	// ptsBuf is the observation buffer reused across ticks: the loop
+	// machinery hands observations to Analyze and drops them, so the
+	// Monitor phase can fill the same backing array every tick.
+	ptsBuf []telemetry.Point
+	// ids/lats are the per-tick fleet scratch for the outlier test.
+	ids  []int
+	lats []float64
+
 	// Responses counts reopen actions taken (experiment metric).
 	Responses int
 }
@@ -94,18 +102,22 @@ func (c *Controller) Loop() *core.Loop {
 	)
 }
 
-// observe reads the latest per-OST write latency.
+// observe reads the latest per-OST write latency through the zero-copy
+// fill-buffer surface: LatestInto appends into the controller's reused
+// buffer instead of materializing (and label-cloning) a fresh point slice
+// every tick.
 func (c *Controller) observe(now time.Duration) (core.Observation, error) {
 	obs := core.Observation{Time: now}
-	obs.Points = append(obs.Points, c.db.Latest("pfs.ost.lat_ms", nil)...)
+	c.ptsBuf = c.db.LatestInto(c.ptsBuf[:0], "pfs.ost.lat_ms", nil)
+	obs.Points = c.ptsBuf
 	return obs, nil
 }
 
 // analyze runs the fleet outlier test on busy OSTs.
 func (c *Controller) analyze(now time.Duration, obs core.Observation) (core.Symptoms, error) {
 	sym := core.Symptoms{Time: now}
-	var ids []int
-	var lats []float64
+	ids := c.ids[:0]
+	lats := c.lats[:0]
 	for _, p := range obs.Points {
 		if p.Name != "pfs.ost.lat_ms" || p.Value < c.cfg.MinLatMS {
 			continue
@@ -117,6 +129,7 @@ func (c *Controller) analyze(now time.Duration, obs core.Observation) (core.Symp
 		ids = append(ids, id)
 		lats = append(lats, p.Value)
 	}
+	c.ids, c.lats = ids, lats
 	outliers := map[int]bool{}
 	for _, idx := range analytics.MADOutliers(lats, c.cfg.Threshold, 1) {
 		outliers[ids[idx]] = true

@@ -51,6 +51,10 @@ type Controller struct {
 	db    telemetry.Querier
 	plant *facility.Plant
 
+	// ptsBuf is the observation buffer reused across ticks (the loop drops
+	// observations after Analyze, so the backing array is safe to recycle).
+	ptsBuf []telemetry.Point
+
 	// Raises and Lowers count setpoint movements (experiment metrics).
 	Raises int
 	Lowers int
@@ -75,13 +79,15 @@ func (c *Controller) Loop() *core.Loop {
 	)
 }
 
-// observe reads the fleet's hottest temperature and the plant state.
+// observe reads the fleet's hottest temperature and the plant state through
+// the zero-copy fill-buffer surface, reusing one point buffer across ticks.
 func (c *Controller) observe(now time.Duration) (core.Observation, error) {
 	obs := core.Observation{Time: now}
-	obs.Points = append(obs.Points, c.db.Latest("node.temp.celsius", nil)...)
+	c.ptsBuf = c.db.LatestInto(c.ptsBuf[:0], "node.temp.celsius", nil)
 	if pue, ok := c.db.LatestValue("facility.pue", nil); ok {
-		obs.Points = append(obs.Points, telemetry.Point{Name: "facility.pue", Time: now, Value: pue})
+		c.ptsBuf = append(c.ptsBuf, telemetry.Point{Name: "facility.pue", Time: now, Value: pue})
 	}
+	obs.Points = c.ptsBuf
 	return obs, nil
 }
 

@@ -33,7 +33,6 @@ import (
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
-	"autoloop/internal/tsdb"
 )
 
 // Config tunes the Scheduler-case loop.
@@ -139,20 +138,21 @@ func (c *Controller) Loop() *core.Loop {
 }
 
 // observe is the Monitor phase: gather fresh progress markers per running
-// job from the TSDB.
+// job from the TSDB. Markers stream straight from the store into the
+// observation through QueryVisit — no intermediate []Series materialization
+// per job per tick.
 func (c *Controller) observe(now time.Duration) (core.Observation, error) {
 	obs := core.Observation{Time: now}
 	for _, j := range c.sch.Running() {
 		label := telemetry.Labels{"job": strconv.Itoa(j.ID)}
 		from := c.lastPoll[j.ID]
-		series := c.db.Query("app.progress", label, from, now)
-		for _, s := range series {
-			for _, smp := range s.Samples {
+		c.db.QueryVisit("app.progress", label, from, now, func(labels telemetry.Labels, samples []telemetry.Sample) {
+			for _, smp := range samples {
 				obs.Points = append(obs.Points, telemetry.Point{
-					Name: "app.progress", Labels: s.Labels, Time: smp.Time, Value: smp.Value,
+					Name: "app.progress", Labels: labels, Time: smp.Time, Value: smp.Value,
 				})
 			}
-		}
+		})
 		if total, ok := c.db.LatestValue("app.progress_total", label); ok {
 			obs.Points = append(obs.Points, telemetry.Point{
 				Name: "app.progress_total", Labels: label, Time: now, Value: total,
@@ -437,12 +437,23 @@ func (c *Controller) NoteJobEnd(j *sched.Job) {
 	delete(c.lastPoll, j.ID)
 }
 
-// signature summarizes the run's behavior from its telemetry.
+// signature summarizes the run's behavior from its telemetry, reducing the
+// iteration-time series in place during the visit instead of copying it out.
 func (c *Controller) signature(j *sched.Job) analytics.Signature {
 	label := telemetry.Labels{"job": strconv.Itoa(j.ID)}
 	sig := analytics.Signature{"nodes": float64(j.Nodes)}
-	if ss := c.db.Query("app.iter_time_ms", label, 0, j.End); len(ss) == 1 && ss[0].Len() > 0 {
-		sig["iter_ms"] = tsdb.Reduce(ss[0], tsdb.AggMean)
+	matches := 0
+	var mean float64
+	c.db.QueryVisit("app.iter_time_ms", label, 0, j.End, func(_ telemetry.Labels, samples []telemetry.Sample) {
+		matches++
+		var sum float64
+		for _, smp := range samples {
+			sum += smp.Value
+		}
+		mean = sum / float64(len(samples))
+	})
+	if matches == 1 {
+		sig["iter_ms"] = mean
 	}
 	return sig
 }

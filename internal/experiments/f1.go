@@ -110,22 +110,27 @@ func runF1(opt Options) *Result {
 		}
 	}
 	pueCUSUM := analytics.NewCUSUM(10, 0.005, 0.05)
+	// The detector poll is the per-tick inner loop of the ODA plane: points
+	// and values go through reused buffers on the zero-copy LatestInto
+	// surface, so polling allocates nothing in steady state.
+	var ptsBuf []telemetry.Point
+	var vals []float64
 	engine.Every(time.Minute, time.Minute, func() bool {
 		now := engine.Now()
 		// Hardware: robust fleet outlier on node temperatures.
-		if temps := db.Latest("node.temp.celsius", nil); len(temps) > 4 {
-			vals := make([]float64, len(temps))
-			for i, p := range temps {
-				vals[i] = p.Value
+		if ptsBuf = db.LatestInto(ptsBuf[:0], "node.temp.celsius", nil); len(ptsBuf) > 4 {
+			vals = vals[:0]
+			for _, p := range ptsBuf {
+				vals = append(vals, p.Value)
 			}
 			if outliers := analytics.MADOutliers(vals, 6, 1); len(outliers) > 0 {
 				note("hardware", now)
 			}
 		}
 		// Storage: MAD outlier across per-OST latency.
-		if lats := db.Latest("pfs.ost.lat_ms", nil); len(lats) >= 4 {
-			vals := make([]float64, 0, len(lats))
-			for _, p := range lats {
+		if ptsBuf = db.LatestInto(ptsBuf[:0], "pfs.ost.lat_ms", nil); len(ptsBuf) >= 4 {
+			vals = vals[:0]
+			for _, p := range ptsBuf {
 				if p.Value > 0.1 {
 					vals = append(vals, p.Value)
 				}
@@ -135,7 +140,8 @@ func runF1(opt Options) *Result {
 			}
 		}
 		// Application: context-switch storm threshold.
-		for _, p := range db.Latest("app.ctx_switch_rate", nil) {
+		ptsBuf = db.LatestInto(ptsBuf[:0], "app.ctx_switch_rate", nil)
+		for _, p := range ptsBuf {
 			if p.Value > 20000 {
 				note("application", now)
 			}

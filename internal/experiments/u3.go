@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"autoloop/internal/analytics"
 	"autoloop/internal/app"
 	"autoloop/internal/cases/ostcase"
 	"autoloop/internal/fleet"
@@ -79,8 +78,8 @@ func runU3(opt Options) *Result {
 		engine.Run()
 
 		// I/O latency after the degradation, from the apps' own telemetry,
-		// windowed through the shared query surface.
-		after := analytics.WindowValues(db, "app.io.lat_ms", nil, degradeAt, engine.Now())
+		// windowed through the shared fill-buffer query surface.
+		after := db.WindowInto(nil, "app.io.lat_ms", nil, degradeAt, engine.Now())
 		var runtimeSum time.Duration
 		for _, j := range jobs {
 			runtimeSum += j.End - j.Start

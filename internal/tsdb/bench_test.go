@@ -199,3 +199,76 @@ func BenchmarkTelemetryIngestPerPoint(b *testing.B) {
 		}
 	}
 }
+
+// windowQuerySetup seeds a fleet-shaped store for the window-read
+// benchmarks: 16 OSTs × 512 samples, the per-tick Analyze window of the
+// storage loop.
+func windowQuerySetup(b *testing.B) *DB {
+	b.Helper()
+	db := New(0)
+	for s := 0; s < 16; s++ {
+		labels := telemetry.Labels{"ost": fmt.Sprintf("ost%02d", s)}
+		for i := 0; i < 512; i++ {
+			if err := db.Append(telemetry.Point{
+				Name: "pfs.ost.lat_ms", Labels: labels,
+				Time: time.Duration(i) * time.Second, Value: float64(i % 37),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// BenchmarkWindowQuery measures one tick-time window read over the fleet:
+// the materializing Query path (fresh []Series, label clones, and sample
+// copies per call) against the zero-copy fill-buffer WindowInto path (same
+// values, caller-owned buffer, zero allocations). The "into" row is the
+// gated number.
+func BenchmarkWindowQuery(b *testing.B) {
+	b.Run("materialize", func(b *testing.B) {
+		db := windowQuerySetup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			var n int
+			for _, s := range db.Query("pfs.ost.lat_ms", nil, 0, time.Hour) {
+				n += len(s.Samples)
+			}
+			total = n
+		}
+		if total != 16*512 {
+			b.Fatalf("read %d samples, want %d", total, 16*512)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		db := windowQuerySetup(b)
+		var buf []float64
+		buf = db.WindowInto(buf[:0], "pfs.ost.lat_ms", nil, 0, time.Hour)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = db.WindowInto(buf[:0], "pfs.ost.lat_ms", nil, 0, time.Hour)
+		}
+		if len(buf) != 16*512 {
+			b.Fatalf("read %d values, want %d", len(buf), 16*512)
+		}
+	})
+	b.Run("visit", func(b *testing.B) {
+		db := windowQuerySetup(b)
+		var total int
+		visit := telemetry.SeriesVisitor(func(_ telemetry.Labels, samples []telemetry.Sample) {
+			total += len(samples)
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			total = 0
+			db.QueryVisit("pfs.ost.lat_ms", nil, 0, time.Hour, visit)
+		}
+		if total != 16*512 {
+			b.Fatalf("visited %d samples, want %d", total, 16*512)
+		}
+	})
+}
