@@ -21,3 +21,8 @@ go test -run='^$' -bench='^BenchmarkDetectorStep$/.*/.*/^(incremental|quickselec
 # Only the 1000-loop shape: the small sub-benchmarks are too short to gate
 # on a shared CI box without false positives.
 go test -run='^$' -bench='^BenchmarkFleetTick$/^loops=1000$' -benchtime=5x -count="$count" ./internal/fleet
+# Control plane: one control.v1 request/reply round trip through the bus,
+# and the lifecycle-state fast paths every tick pays (both must stay at
+# 0 allocs/op — TestLifecycleFastPathAllocs gates that exactly).
+go test -run='^$' -bench='^BenchmarkControlDispatch$' -benchtime=2000x -count="$count" ./internal/control
+go test -run='^$' -bench='^BenchmarkLifecycleCheck$' -benchtime=200000x -count="$count" ./internal/core

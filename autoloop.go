@@ -19,8 +19,13 @@
 package autoloop
 
 import (
+	"time"
+
+	"autoloop/internal/cases"
+	"autoloop/internal/control"
 	"autoloop/internal/core"
 	"autoloop/internal/experiments"
+	"autoloop/internal/fleet"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/sim"
 )
@@ -48,6 +53,47 @@ type (
 	Result = experiments.Result
 )
 
+// Control-plane vocabulary (see internal/control and internal/fleet): loops
+// are declared as specs, spawned through a registry, ticked by a fleet
+// coordinator, and managed at runtime over the control.v1 wire API.
+type (
+	// LoopSpec declares one loop deployment (case, config, mode,
+	// priority, period) in JSON-decodable form.
+	LoopSpec = control.LoopSpec
+	// Registry maps case names to spawnable factories.
+	Registry = control.Registry
+	// ControlEnv is the deployment environment specs are spawned into.
+	ControlEnv = control.Env
+	// ControlService serves the control.v1 wire API and the operator
+	// approval queue.
+	ControlService = control.Service
+	// Coordinator ticks a fleet of loops concurrently with cross-loop
+	// conflict arbitration.
+	Coordinator = fleet.Coordinator
+	// Mode selects how much autonomy a loop has over its Execute phase.
+	Mode = core.Mode
+	// LifecycleState is a loop's runtime state under the control plane.
+	LifecycleState = core.LifecycleState
+	// HumanModel models the simulated approver for human-in-the-loop mode.
+	HumanModel = core.HumanModel
+)
+
+// Operating modes (§IV).
+const (
+	Autonomous     = core.Autonomous
+	HumanOnTheLoop = core.HumanOnTheLoop
+	HumanInTheLoop = core.HumanInTheLoop
+)
+
+// Lifecycle states (created → running ⇄ paused, → draining → stopped).
+const (
+	StateCreated  = core.StateCreated
+	StateRunning  = core.StateRunning
+	StatePaused   = core.StatePaused
+	StateDraining = core.StateDraining
+	StateStopped  = core.StateStopped
+)
+
 // NewLoop constructs a named loop from the four MAPE phases.
 func NewLoop(name string, m Monitor, a Analyzer, p Planner, e Executor) *Loop {
 	return core.NewLoop(name, m, a, p, e)
@@ -58,6 +104,22 @@ func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
 
 // NewKnowledge returns an empty knowledge base.
 func NewKnowledge() *Knowledge { return knowledge.NewBase() }
+
+// NewRegistry returns a control registry with all six use cases registered.
+func NewRegistry() *Registry { return cases.NewRegistry() }
+
+// NewCoordinator returns a fleet coordinator; workers <= 0 selects
+// GOMAXPROCS.
+func NewCoordinator(workers int) *Coordinator { return fleet.New(workers) }
+
+// NewControlService builds the runtime control plane over a registry, an
+// environment, and a coordinator; base is the control round cadence.
+func NewControlService(reg *Registry, env *ControlEnv, coord *Coordinator, base time.Duration) *ControlService {
+	return control.NewService(reg, env, coord, base)
+}
+
+// ParseSpecs decodes a JSON array of LoopSpecs (a spec file).
+func ParseSpecs(data []byte) ([]LoopSpec, error) { return control.ParseSpecs(data) }
 
 // RunExperiment executes one of the paper-reproduction experiments
 // (e.g. "EXP-F3"); see ExperimentIDs for the index.

@@ -63,3 +63,28 @@ func TestFacadeBuildLoop(t *testing.T) {
 		t.Errorf("acted = %d", acted)
 	}
 }
+
+// TestFacadeControlPlane exercises the re-exported control vocabulary: a
+// user declares a fleet as JSON specs, spawns it through the registry, and
+// manages lifecycle — all from the one facade import (plus the internal
+// substrate adapters).
+func TestFacadeControlPlane(t *testing.T) {
+	specs, err := autoloop.ParseSpecs([]byte(`[{"case": "power", "mode": "human-on-the-loop", "period": "2m"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Mode != "human-on-the-loop" || specs[0].Period.D() != 2*time.Minute {
+		t.Fatalf("spec = %+v", specs[0])
+	}
+	reg := autoloop.NewRegistry()
+	if got := len(reg.Names()); got != 6 {
+		t.Fatalf("registry has %d cases, want 6", got)
+	}
+	if autoloop.StatePaused.String() != "paused" || autoloop.HumanInTheLoop.String() != "human-in-the-loop" {
+		t.Error("lifecycle/mode constants not wired")
+	}
+	coord := autoloop.NewCoordinator(1)
+	if coord.Len() != 0 {
+		t.Error("fresh coordinator not empty")
+	}
+}

@@ -1,31 +1,37 @@
 // Command modad is a small MODA telemetry daemon: it runs a simulated HPC
 // system in real time (wall clock, scaled), samples all sensor domains into
-// a TSDB, and serves the telemetry stream plus loop audit events over TCP as
-// newline-delimited JSON envelopes — the interoperability surface the
-// paper's question (ii) asks for. A client can connect with `nc` and watch
-// the same envelopes an autonomy loop consumes.
+// a TSDB, and serves the telemetry stream, loop audit events, and the
+// control.v1 runtime API over TCP as newline-delimited JSON envelopes — the
+// interoperability surface the paper's question (ii) asks for. A client can
+// connect with `nc`, watch the same envelopes an autonomy loop consumes,
+// and manage the fleet: list loops, spawn new ones from JSON specs, pause
+// and resume them, change operating modes, and approve or deny pending
+// human-in-the-loop actions.
 //
 // Usage:
 //
-//	modad -addr 127.0.0.1:7675 -speed 60 -duration 2m
+//	modad -addr 127.0.0.1:7675 -speed 60 -duration 2m [-specs file.json]
 //
 // speed compresses virtual time: 60 means one wall second carries one
-// virtual minute.
+// virtual minute. The fleet is built through the control registry from JSON
+// loop specs; -specs replaces the built-in pair (power + ost).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
-	"autoloop/internal/cases/ostcase"
-	"autoloop/internal/cases/powercase"
+	"autoloop/internal/cases"
 	"autoloop/internal/cluster"
+	"autoloop/internal/control"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -33,11 +39,40 @@ import (
 	"autoloop/internal/tsdb"
 )
 
+// defaultSpecs is the fleet modad deploys when no -specs file is given:
+// the facility cooling loop and the OST-avoidance loop, both autonomous,
+// at the control round cadence.
+const defaultSpecs = `[
+  {"case": "power", "period": "1m"},
+  {"case": "ost", "period": "1m"}
+]`
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", "127.0.0.1:7675", "TCP address to serve envelopes on")
 	speed := flag.Int("speed", 60, "virtual seconds per wall second")
 	duration := flag.Duration("duration", 2*time.Minute, "wall-clock run time (0 = forever)")
+	specsPath := flag.String("specs", "", "JSON loop-spec file replacing the built-in fleet")
 	flag.Parse()
+
+	specsJSON := []byte(defaultSpecs)
+	if *specsPath != "" {
+		data, err := os.ReadFile(*specsPath)
+		if err != nil {
+			return err
+		}
+		specsJSON = data
+	}
+	specs, err := control.ParseSpecs(specsJSON)
+	if err != nil {
+		return err
+	}
 
 	engine := sim.NewEngine(1)
 	db := tsdb.New(2 * time.Hour)
@@ -51,8 +86,7 @@ func main() {
 		{Metric: "pfs.ost.lat_ms", Step: 5 * time.Minute, Agg: tsdb.AggP95, Retention: 24 * time.Hour},
 	} {
 		if err := db.AddRollup(rule); err != nil {
-			fmt.Fprintln(os.Stderr, "modad:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -83,22 +117,37 @@ func main() {
 	// out on the bus — a single ingest pass and a single PublishBatch per
 	// sampling round, with each point on "telemetry.<name>".
 	pipe := telemetry.NewPipeline(reg, db).PublishTo(b, "modad")
-
-	// The response side: the pipeline drives a fleet coordinator (one round
-	// every 2nd sample = every virtual minute) running the power and OST
-	// loops concurrently. Their lifecycle envelopes ("loop.<name>.*") and
-	// the coordinator's round summaries ("fleet.round", "fleet.conflict")
-	// travel the same bus as the telemetry.
 	q, _ := pipe.Querier() // the pipeline's sink is the TSDB
-	power := powercase.New(powercase.DefaultConfig(), q, plant)
-	ost := ostcase.New(ostcase.DefaultConfig(), q, scheduler, runtime)
-	powerLoop, ostLoop := power.Loop(), ost.Loop()
-	powerLoop.Bus = b
-	ostLoop.Bus = b
+
+	// The response side is spec-driven: a control service owns the fleet
+	// coordinator and spawns every loop from its JSON spec through the case
+	// registry; the same service answers control.v1 requests from the wire
+	// and runs the pending-approval queue for human-in-the-loop actions.
+	env := &control.Env{
+		Querier:   q,
+		Plant:     plant,
+		Scheduler: scheduler,
+		Apps:      runtime,
+		Cluster:   cl,
+		FS:        fs,
+		Knowledge: knowledge.NewBase(),
+		Clock:     sim.VirtualClock{Engine: engine},
+		Rng:       rand.New(rand.NewSource(1)),
+		Bus:       b,
+	}
 	coord := fleet.New(0).PublishTo(b, "modad")
-	coord.Add(powerLoop, powercase.FleetPriority)
-	coord.Add(ostLoop, ostcase.FleetPriority)
-	pipe.Drive(coord, 2)
+	ctl := control.NewService(cases.NewRegistry(), env, coord, time.Minute).Attach(b, "modad")
+	defer ctl.Close()
+	for _, spec := range specs {
+		if _, err := ctl.Spawn(spec); err != nil {
+			return err
+		}
+	}
+	// One control round every 2nd sample = every virtual minute. Loop
+	// lifecycle envelopes ("loop.<name>.*"), coordinator round summaries
+	// ("fleet.round", "fleet.conflict"), and control.v1 traffic travel the
+	// same bus as the telemetry.
+	pipe.Drive(ctl, 2)
 
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
 		pipe.Sample(engine.Now())
@@ -114,18 +163,17 @@ func main() {
 			IOEvery:  7, IOSizeMB: 256, StripeCount: 4,
 		})
 		if _, err := scheduler.Submit(name, "ops", 2, 1000*time.Hour, 0); err != nil {
-			fmt.Fprintln(os.Stderr, "modad:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
 	srv, err := bus.NewServer(*addr, "*", b)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "modad:", err)
-		os.Exit(1)
+		return err
 	}
 	defer srv.Close()
-	fmt.Printf("modad: serving telemetry, loop, and fleet envelopes on %s (speed %dx)\n", srv.Addr(), *speed)
+	fmt.Printf("modad: serving telemetry, loop, fleet, and control.v1 envelopes on %s (speed %dx, %d loops)\n",
+		srv.Addr(), *speed, coord.Len())
 
 	// Drive the simulation against the wall clock.
 	start := time.Now()
@@ -141,4 +189,5 @@ func main() {
 	cm := coord.Metrics()
 	fmt.Printf("modad: done; %d series, %d samples stored; fleet ran %d rounds (%d actions, %d arbitrated)\n",
 		db.NumSeries(), db.Appended(), cm.Rounds, cm.Planned, cm.Arbitrated)
+	return nil
 }

@@ -10,16 +10,18 @@ package main
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"autoloop/internal/analytics"
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
-	"autoloop/internal/cases/ostcase"
-	"autoloop/internal/cases/powercase"
+	"autoloop/internal/cases"
 	"autoloop/internal/cluster"
+	"autoloop/internal/control"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -51,22 +53,35 @@ func main() {
 	reg.Register(scheduler.Collector())
 	pipe := telemetry.NewPipeline(reg, db)
 
-	// --- autonomous response: a fleet of loops under one coordinator ---
-	// The monitoring pipeline drives the coordinator (a round every 2nd
-	// sample = every minute): the power loop manages cooling energy under
-	// the thermal limit, the OST loop steers applications off degraded
-	// storage, and the coordinator's arbiter would resolve any same-subject
-	// conflict between them by priority.
+	// --- autonomous response: a spec-driven fleet under one coordinator ---
+	// The loops are declared as JSON specs and spawned through the control
+	// registry into a deployment environment; the monitoring pipeline
+	// drives the control service (a round every 2nd sample = every
+	// minute): the power loop manages cooling energy under the thermal
+	// limit, the OST loop steers applications off degraded storage, and
+	// the coordinator's arbiter would resolve any same-subject conflict
+	// between them by priority.
 	b := bus.New()
-	power := powercase.New(powercase.DefaultConfig(), db, plant)
-	ost := ostcase.New(ostcase.DefaultConfig(), db, scheduler, runtime)
-	powerLoop, ostLoop := power.Loop(), ost.Loop()
-	powerLoop.Bus = b
-	ostLoop.Bus = b
+	env := &control.Env{
+		Querier: db, Plant: plant, Scheduler: scheduler, Apps: runtime,
+		Cluster: cl, FS: fs, Knowledge: knowledge.NewBase(),
+		Clock: sim.VirtualClock{Engine: engine}, Rng: rand.New(rand.NewSource(7)), Bus: b,
+	}
 	coord := fleet.New(0).PublishTo(b, "holistic")
-	coord.Add(powerLoop, powercase.FleetPriority)
-	coord.Add(ostLoop, ostcase.FleetPriority)
-	pipe.Drive(coord, 2)
+	ctl := control.NewService(cases.NewRegistry(), env, coord, time.Minute).Attach(b, "holistic")
+	specs, err := control.ParseSpecs([]byte(`[
+		{"case": "power", "period": "1m"},
+		{"case": "ost", "period": "1m"}
+	]`))
+	if err != nil {
+		panic(err)
+	}
+	for _, spec := range specs {
+		if _, err := ctl.Spawn(spec); err != nil {
+			panic(err)
+		}
+	}
+	pipe.Drive(ctl, 2)
 
 	engine.Every(30*time.Second, 30*time.Second, func() bool {
 		pipe.Sample(engine.Now())
@@ -151,8 +166,14 @@ func main() {
 	cm := coord.Metrics()
 	fmt.Printf("  fleet: %d rounds, %d actions planned, %d conflicts arbitrated\n",
 		cm.Rounds, cm.Planned, cm.Arbitrated)
-	fmt.Printf("   power loop: %d raises, %d lowers; ost loop: %d reopens (avoiding %v)\n",
-		power.Raises, power.Lowers, ost.Responses, ost.Avoided())
+	// The control plane reports the same fleet as LoopStatus rows — the
+	// in-process form of a control.v1 list request.
+	if r := ctl.Handle(control.Request{Op: control.OpList}); r.OK {
+		for _, st := range r.Loops {
+			fmt.Printf("   %-11s %-10s %-10s executed=%d honored=%d\n",
+				st.Case, st.Name, st.State, st.Metrics.Executed, st.Metrics.Honored)
+		}
+	}
 
 	// The Fig. 1 "Visualize" box: sparkline each domain's headline signal.
 	fmt.Println("\n  visualize (4h of operation, one anomaly per domain):")

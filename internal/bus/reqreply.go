@@ -1,0 +1,55 @@
+package bus
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Call publishes req and waits for the first envelope on respTopic for which
+// match returns true (a nil match accepts the first envelope). It is the
+// request/reply correlation helper for envelope services: in-process
+// dispatch is synchronous, so the reply is usually captured before Publish
+// returns; across the TCP bridge the reply arrives asynchronously, bounded
+// by timeout (wall clock; <= 0 means one second).
+//
+// The caller owns correlation: put a unique id in the request payload and
+// match on it in the reply, as control.v1 does.
+func Call(b *Bus, req Envelope, respTopic string, match func(Envelope) bool, timeout time.Duration) (Envelope, error) {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	got := make(chan Envelope, 1)
+	cancel := b.Subscribe(respTopic, func(env Envelope) {
+		if match != nil && !match(env) {
+			return
+		}
+		select {
+		case got <- env:
+		default: // a reply is already captured
+		}
+	})
+	defer cancel()
+	b.Publish(req)
+	select {
+	case env := <-got:
+		return env, nil
+	case <-time.After(timeout):
+		return Envelope{}, fmt.Errorf("bus: call %s: no reply on %s within %v", req.Topic, respTopic, timeout)
+	}
+}
+
+// DecodePayload re-decodes an envelope payload into out. Payloads published
+// in-process keep their original Go type while payloads that crossed the
+// wire arrive as generic JSON values; a marshal/unmarshal round trip gives
+// services one uniform way to read either.
+func DecodePayload(env Envelope, out interface{}) error {
+	data, err := json.Marshal(env.Payload)
+	if err != nil {
+		return fmt.Errorf("bus: payload of %s does not marshal: %w", env.Topic, err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("bus: payload of %s: %w", env.Topic, err)
+	}
+	return nil
+}

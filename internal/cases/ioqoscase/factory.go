@@ -1,0 +1,65 @@
+package ioqoscase
+
+import (
+	"fmt"
+	"time"
+
+	"autoloop/internal/control"
+)
+
+// CaseName is the spec vocabulary for this loop under the control plane.
+const CaseName = "ioqos"
+
+// FleetPriority is the case's recommended arbitration priority under a
+// fleet coordinator: QoS enforcement outranks plain workload optimization
+// but yields to maintenance and facility loops.
+const FleetPriority = 8
+
+// FactoryConfig is the JSON-facing config: the case Config plus the
+// parent-loop cadence of the hierarchy (the parent reallocates once per
+// ParentEvery child enforcement ticks).
+type FactoryConfig struct {
+	Config
+	ParentEvery int
+}
+
+// Factory registers the hierarchical I/O QoS case with the control plane.
+// Unlike the single-loop cases it spawns one child loop per tenant plus the
+// reallocating parent; under a fleet coordinator the parent registers with
+// an EveryMul of ParentEvery, reproducing the Hierarchy composition flat.
+func Factory() control.CaseFactory {
+	return control.CaseFactory{
+		Name:     CaseName,
+		Doc:      "hierarchical I/O QoS: per-tenant bandwidth enforcement children under a reallocating parent watching tail latencies",
+		Requires: []control.Capability{control.CapQuerier, control.CapPFS, control.CapKnowledge},
+		Defaults: func() interface{} {
+			cfg := FactoryConfig{
+				Config: DefaultConfig([]Tenant{
+					{Name: "deadline", Priority: 3, TargetLatMS: 500},
+					{Name: "batch", Priority: 1},
+				}, 2000),
+				ParentEvery: 3,
+			}
+			return &cfg
+		},
+		Priority: FleetPriority,
+		Period:   control.Duration(10 * time.Second),
+		Build: func(env *control.Env, cfg interface{}) ([]control.BuiltLoop, error) {
+			fc := cfg.(*FactoryConfig)
+			if len(fc.Tenants) == 0 {
+				return nil, fmt.Errorf("ioqoscase: config needs at least one tenant")
+			}
+			if fc.ParentEvery < 1 {
+				fc.ParentEvery = 1
+			}
+			c := New(fc.Config, env.Querier, env.FS, env.Knowledge)
+			// Parent first: it is the case's primary loop (reallocation is
+			// where mode/approval policy bites); children enforce setpoints.
+			out := []control.BuiltLoop{{Loop: c.parentLoop(), EveryMul: fc.ParentEvery}}
+			for _, t := range c.cfg.Tenants {
+				out = append(out, control.BuiltLoop{Loop: c.childLoop(t)})
+			}
+			return out, nil
+		},
+	}
+}

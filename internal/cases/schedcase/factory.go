@@ -1,0 +1,31 @@
+package schedcase
+
+import (
+	"time"
+
+	"autoloop/internal/control"
+)
+
+// CaseName is the spec vocabulary for this loop under the control plane.
+const CaseName = "scheduler"
+
+// FleetPriority is the case's recommended arbitration priority under a
+// fleet coordinator: walltime stewardship is a workload-side optimization,
+// below facility and maintenance loops.
+const FleetPriority = 5
+
+// Factory registers the walltime-extension loop with the control plane.
+func Factory() control.CaseFactory {
+	return control.CaseFactory{
+		Name:     CaseName,
+		Doc:      "walltime stewardship: TTC projection per running job, extension requests with confidence-weighted safety margins, checkpoint fallback",
+		Requires: []control.Capability{control.CapQuerier, control.CapScheduler, control.CapApps, control.CapKnowledge, control.CapClock},
+		Defaults: func() interface{} { cfg := DefaultConfig(); return &cfg },
+		Priority: FleetPriority,
+		Period:   control.Duration(5 * time.Minute),
+		Build: func(env *control.Env, cfg interface{}) ([]control.BuiltLoop, error) {
+			c := New(*cfg.(*Config), env.Querier, env.Scheduler, env.Apps, env.Knowledge, env.Clock)
+			return []control.BuiltLoop{{Loop: c.Loop()}}, nil
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package control_test
+
+import (
+	"testing"
+	"time"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/control"
+)
+
+// BenchmarkControlDispatch measures one control.v1 request/reply round trip
+// through the bus: publish the request envelope, dispatch to the service,
+// execute the op, publish and correlate the reply — the in-process cost
+// floor under every wire interaction.
+func BenchmarkControlDispatch(b *testing.B) {
+	svc, busHub, _ := scriptService(b)
+	if _, err := svc.Spawn(control.LoopSpec{Case: "script"}); err != nil {
+		b.Fatal(err)
+	}
+	svc.Tick(time.Minute)
+	req := control.Request{ID: "bench", Op: control.OpList}
+	match := func(e bus.Envelope) bool {
+		r, ok := e.Payload.(control.Reply)
+		return ok && r.ID == "bench"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bus.Call(busHub,
+			bus.Envelope{Topic: control.TopicRequest, Payload: req},
+			control.TopicReply, match, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceHandle isolates the op execution without the bus round
+// trip, for the benchstat comparison against BenchmarkControlDispatch.
+func BenchmarkServiceHandle(b *testing.B) {
+	svc, _, _ := scriptService(b)
+	if _, err := svc.Spawn(control.LoopSpec{Case: "script"}); err != nil {
+		b.Fatal(err)
+	}
+	svc.Tick(time.Minute)
+	req := control.Request{ID: "bench", Op: control.OpList}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := svc.Handle(req); !r.OK {
+			b.Fatal("handle failed")
+		}
+	}
+}

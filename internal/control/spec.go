@@ -1,0 +1,163 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"autoloop/internal/core"
+	"autoloop/internal/sim"
+)
+
+// Duration is a time.Duration that decodes from either a Go duration string
+// ("5m", "1h30m") or a nanosecond count, and encodes as the string form —
+// the JSON vocabulary operators actually write.
+type Duration time.Duration
+
+// D converts to the standard library type.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String implements fmt.Stringer.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON encodes the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "5m" strings and raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("control: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	ns, err := strconv.ParseInt(string(bytes.TrimSpace(data)), 10, 64)
+	if err != nil {
+		return fmt.Errorf("control: bad duration %s: %w", data, err)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// LoopSpec declares one loop deployment: which case to instantiate, its
+// configuration overrides, operating mode, fleet arbitration priority, and
+// tick period. It is the unit of the declarative layer — JSON-decodable so
+// specs can live in files, arrive over the wire, and be reported back by
+// the control API.
+//
+// Zero fields take the case factory's defaults: an empty Mode means
+// autonomous, a nil Priority means the factory's recommended fleet
+// priority, a zero Period means the factory's default cadence, and an
+// omitted Config keeps every default. Config uses the case's Go field
+// names; time.Duration fields inside case configs are nanosecond numbers.
+type LoopSpec struct {
+	// Case names the registered CaseFactory ("power", "ost", "scheduler",
+	// "maintenance", "misconfig", "ioqos").
+	Case string `json:"case"`
+	// Name overrides the spawned loop's name (useful for running one case
+	// twice); empty keeps the case's own loop name.
+	Name string `json:"name,omitempty"`
+	// Config holds case-specific overrides merged over the factory's
+	// defaults. Unknown fields are rejected.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Mode is the operating mode: "autonomous" (default),
+	// "human-on-the-loop", or "human-in-the-loop".
+	Mode string `json:"mode,omitempty"`
+	// Priority is the fleet arbitration priority; nil takes the factory
+	// default.
+	Priority *int `json:"priority,omitempty"`
+	// Period is the loop's tick cadence ("1m"); zero takes the factory
+	// default. Under a coordinator it is rounded to a whole multiple of
+	// the coordinator's base round period.
+	Period Duration `json:"period,omitempty"`
+	// Human tunes the approval policy for human-in-the-loop operation;
+	// nil keeps the paper's default model (15m median response, 80%
+	// availability, no contingency).
+	Human *HumanSpec `json:"human,omitempty"`
+}
+
+// HumanSpec is the declarative form of core.HumanModel: the approver's
+// response-latency distribution, availability, and the contingency window
+// after which a deferred action executes anyway.
+type HumanSpec struct {
+	// Availability is the probability the approver answers at all.
+	Availability float64 `json:"availability"`
+	// MedianLatency is the median approval response time.
+	MedianLatency Duration `json:"median_latency"`
+	// LatencyCV is the latency distribution's coefficient of variation
+	// (default 0.8).
+	LatencyCV float64 `json:"latency_cv,omitempty"`
+	// ContingencyAfter, when positive, executes the action anyway once
+	// the approval surface has been silent this long.
+	ContingencyAfter Duration `json:"contingency_after,omitempty"`
+}
+
+// Model converts the spec to the core human model.
+func (h *HumanSpec) Model() core.HumanModel {
+	cv := h.LatencyCV
+	if cv <= 0 {
+		cv = 0.8
+	}
+	return core.HumanModel{
+		Latency:          sim.LogNormal{MeanV: h.MedianLatency.D(), CV: cv},
+		Availability:     h.Availability,
+		ContingencyAfter: h.ContingencyAfter.D(),
+	}
+}
+
+// Validate checks the statically checkable parts of the spec.
+func (s *LoopSpec) Validate() error {
+	if s.Case == "" {
+		return fmt.Errorf("control: spec missing case")
+	}
+	if s.Mode != "" {
+		if _, err := core.ParseMode(s.Mode); err != nil {
+			return fmt.Errorf("control: spec %s: %w", s.Case, err)
+		}
+	}
+	if s.Period < 0 {
+		return fmt.Errorf("control: spec %s: negative period", s.Case)
+	}
+	return nil
+}
+
+// ParseSpec decodes one LoopSpec from JSON, rejecting unknown fields.
+func ParseSpec(data []byte) (LoopSpec, error) {
+	var s LoopSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return LoopSpec{}, fmt.Errorf("control: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return LoopSpec{}, err
+	}
+	return s, nil
+}
+
+// ParseSpecs decodes a JSON array of LoopSpecs (a spec file).
+func ParseSpecs(data []byte) ([]LoopSpec, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("control: parse specs: %w", err)
+	}
+	specs := make([]LoopSpec, 0, len(raw))
+	for i, r := range raw {
+		s, err := ParseSpec(r)
+		if err != nil {
+			return nil, fmt.Errorf("control: spec %d: %w", i, err)
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"autoloop/internal/sim"
+)
+
+// humanLoop builds a test loop on a virtual clock, ready for
+// human-in-the-loop dispatch.
+func humanLoop(t *testing.T, mode Mode, human HumanModel) (*Loop, *recorder, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine(1)
+	l, rec := newTestLoop(0.9)
+	l.Mode = mode
+	l.Human = human
+	l.Clock = sim.VirtualClock{Engine: engine}
+	l.Rng = rand.New(rand.NewSource(1))
+	return l, rec, engine
+}
+
+func TestPauseInvalidatesDeferredAction(t *testing.T) {
+	l, rec, engine := humanLoop(t, HumanInTheLoop, HumanModel{
+		Latency: sim.Constant{V: 10 * time.Minute}, Availability: 1,
+	})
+	engine.At(time.Minute, func() { l.Tick(engine.Now()) })
+	engine.At(5*time.Minute, func() {
+		if err := l.Pause(); err != nil {
+			t.Errorf("Pause: %v", err)
+		}
+	})
+	// Resume before the approval callback fires: the generation moved on,
+	// so the pre-pause action is stale and must NOT execute even though the
+	// loop is running again.
+	engine.At(7*time.Minute, func() {
+		if err := l.Resume(); err != nil {
+			t.Errorf("Resume: %v", err)
+		}
+	})
+	engine.RunUntil(time.Hour)
+	if len(rec.executed) != 0 {
+		t.Fatal("stale deferred action executed after pause/resume")
+	}
+}
+
+func TestDrainInvalidatesContingency(t *testing.T) {
+	l, rec, engine := humanLoop(t, HumanInTheLoop, HumanModel{
+		Latency: sim.Constant{V: time.Minute}, Availability: 0,
+		ContingencyAfter: 30 * time.Minute,
+	})
+	engine.At(time.Minute, func() { l.Tick(engine.Now()) })
+	engine.At(5*time.Minute, func() {
+		if err := l.Drain(); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	engine.RunUntil(2 * time.Hour)
+	if len(rec.executed) != 0 {
+		t.Fatal("drained loop fired its contingency action")
+	}
+}
+
+// sinkRecorder captures deferred actions routed to an ApprovalSink.
+type sinkRecorder struct{ got []DeferredAction }
+
+func (s *sinkRecorder) Defer(d DeferredAction) { s.got = append(s.got, d) }
+
+func TestApprovalSinkReceivesInsteadOfHumanModel(t *testing.T) {
+	l, rec, engine := humanLoop(t, HumanInTheLoop, HumanModel{
+		Latency: sim.Constant{V: time.Minute}, Availability: 1,
+	})
+	sink := &sinkRecorder{}
+	l.Approvals = sink
+	engine.At(time.Minute, func() { l.Tick(engine.Now()) })
+	engine.RunUntil(time.Hour)
+	if len(rec.executed) != 0 {
+		t.Fatal("sink-routed action executed without a verdict")
+	}
+	if len(sink.got) != 1 {
+		t.Fatalf("sink received %d actions, want 1", len(sink.got))
+	}
+	d := sink.got[0]
+	if d.Loop != l || d.Action.Kind != "lower" || d.Decided != time.Minute {
+		t.Errorf("deferred action = %+v", d)
+	}
+	if m := l.Metrics(); m.DeferredActions != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+
+	// Approve: executes with decision latency from the deferral epoch.
+	if !d.Resolve(31*time.Minute, true, "") {
+		t.Fatal("Resolve(approve) reported not executed")
+	}
+	if len(rec.executed) != 1 {
+		t.Fatal("approved action did not execute")
+	}
+	if m := l.Metrics(); m.ExecutedActions != 1 || m.DecisionLatency != 30*time.Minute {
+		t.Errorf("metrics = %+v, want 30m decision latency", m)
+	}
+}
+
+func TestApprovalSinkDenyAndStale(t *testing.T) {
+	l, rec, engine := humanLoop(t, HumanInTheLoop, HumanModel{})
+	sink := &sinkRecorder{}
+	l.Approvals = sink
+	engine.At(time.Minute, func() { l.Tick(engine.Now()) })
+	engine.At(2*time.Minute, func() { l.Tick(engine.Now()) })
+	engine.RunUntil(10 * time.Minute)
+	if len(sink.got) != 2 {
+		t.Fatalf("sink received %d actions, want 2", len(sink.got))
+	}
+
+	// Deny the first.
+	if d := sink.got[0]; d.Resolve(5*time.Minute, false, "not today") {
+		t.Fatal("denied action executed")
+	}
+	if m := l.Metrics(); m.DeniedActions != 1 {
+		t.Errorf("metrics = %+v, want 1 denied", m)
+	}
+
+	// Pause, then approve the second: it is stale and must not execute.
+	if err := l.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	d := sink.got[1]
+	if !d.Stale() {
+		t.Fatal("action not stale after pause")
+	}
+	if d.Resolve(6*time.Minute, true, "") {
+		t.Fatal("stale action executed despite approval")
+	}
+	if m := l.Metrics(); m.StaleDeferred != 1 || m.ExecutedActions != 0 {
+		t.Errorf("metrics = %+v, want 1 stale, 0 executed", m)
+	}
+	if len(rec.executed) != 0 {
+		t.Fatal("no action should have reached the executor")
+	}
+}

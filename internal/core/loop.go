@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"autoloop/internal/bus"
@@ -69,6 +70,8 @@ type Metrics struct {
 	ArbitratedActions int // lost a cross-loop conflict to a fleet arbiter
 	DeferredActions   int // human-in-the-loop: waiting for approval
 	DroppedActions    int // human absent, no contingency
+	DeniedActions     int // human-in-the-loop: operator denied the action
+	StaleDeferred     int // deferred action invalidated by pause/drain/stop
 	Errors            int
 
 	// DecisionLatency accumulates time from symptom to execution (nonzero
@@ -115,27 +118,32 @@ type Loop struct {
 	// Rng drives the human model (required for HumanInTheLoop).
 	Rng *rand.Rand
 
-	enabled bool
+	// Approvals, when set, receives human-in-the-loop actions instead of
+	// the simulated HumanModel: dispatch enqueues a DeferredAction and the
+	// sink settles it later via Resolve. When nil, the HumanModel drives
+	// approvals directly (the simulation fallback).
+	Approvals ApprovalSink
+
+	// state is the LifecycleState (atomic so control planes may inspect and
+	// transition loops from outside the tick goroutine); gen counts
+	// pause/drain/stop transitions to invalidate stale deferred actions.
+	state atomic.Int32
+	gen   atomic.Uint64
+
 	metrics Metrics
 
 	inTick bool
 	events []bus.Envelope // per-tick event batch, reused across ticks
 }
 
-// NewLoop constructs a named loop with the given phases.
+// NewLoop constructs a named loop with the given phases. The loop starts in
+// StateCreated and auto-starts on its first tick.
 func NewLoop(name string, m Monitor, a Analyzer, p Planner, e Executor) *Loop {
 	if m == nil || a == nil || p == nil || e == nil {
 		panic("core: NewLoop requires all four MAPE phases")
 	}
-	return &Loop{Name: name, M: m, A: a, P: p, E: e, enabled: true}
+	return &Loop{Name: name, M: m, A: a, P: p, E: e}
 }
-
-// Enabled reports whether the loop is active.
-func (l *Loop) Enabled() bool { return l.enabled }
-
-// SetEnabled enables or disables the loop (failure injection for the
-// robustness experiments; a disabled loop's Tick is a no-op).
-func (l *Loop) SetEnabled(on bool) { l.enabled = on }
 
 // Metrics returns a snapshot of the loop's counters.
 func (l *Loop) Metrics() Metrics { return l.metrics }
@@ -210,9 +218,20 @@ type PlannedTick struct {
 	preEvent []bufferedEvent
 }
 
+// skippedTick is the shared execute half of every skipped tick: a paused,
+// draining, or stopped loop's PlanTick allocates nothing (the lifecycle
+// fast path), and ExecutePlanned returns before touching loop state.
+var skippedTick = &PlannedTick{skipped: true}
+
 // Actions exposes the planned actions for arbitration. The slice is shared
-// with the pending execute half and must not be mutated.
-func (pt *PlannedTick) Actions() []Action { return pt.plan.Actions }
+// with the pending execute half and must not be mutated. A nil or skipped
+// tick has no actions.
+func (pt *PlannedTick) Actions() []Action {
+	if pt == nil {
+		return nil
+	}
+	return pt.plan.Actions
+}
 
 // Time returns the virtual time the plan half ran at.
 func (pt *PlannedTick) Time() time.Duration { return pt.now }
@@ -257,11 +276,16 @@ func (pt *PlannedTick) bufEvent(kind string, payload interface{}) {
 // loops' PlanTicks concurrently; audit entries and bus events are buffered
 // inside the PlannedTick and replayed by ExecutePlanned.
 func (l *Loop) PlanTick(now time.Duration) *PlannedTick {
-	pt := &PlannedTick{loop: l, now: now}
-	if !l.enabled {
-		pt.skipped = true
-		return pt
+	switch st := l.State(); {
+	case st == StateCreated:
+		_ = l.Start() // first tick auto-starts
+	case st == StateDraining:
+		l.FinishDrain() // tick boundary reached: the drain completes
+		return skippedTick
+	case !st.Tickable():
+		return skippedTick
 	}
+	pt := &PlannedTick{loop: l, now: now}
 	l.metrics.Ticks++
 	obs, err := l.M.Observe(now)
 	if err != nil {
@@ -392,8 +416,17 @@ func (l *Loop) execute(decidedAt, now time.Duration, action Action) ActionResult
 	return res
 }
 
-// deferToHuman routes the action through the human approver model.
+// deferToHuman routes the action to the approval surface: an attached
+// ApprovalSink (the control plane's pending queue) when present, otherwise
+// the simulated HumanModel — the fallback driver that keeps fixed-seed
+// experiments reproducible.
 func (l *Loop) deferToHuman(now time.Duration, action Action) {
+	if l.Approvals != nil {
+		l.metrics.DeferredActions++
+		l.audit(now, "defer", "%s(%s): queued for operator approval", action.Kind, action.Subject)
+		l.Approvals.Defer(DeferredAction{Loop: l, Decided: now, Action: action, Gen: l.gen.Load()})
+		return
+	}
 	if l.Clock == nil || l.Rng == nil {
 		// Without a clock there is no way to wait: treat the human as absent.
 		l.metrics.DroppedActions++
@@ -401,13 +434,14 @@ func (l *Loop) deferToHuman(now time.Duration, action Action) {
 		return
 	}
 	l.metrics.DeferredActions++
+	gen := l.gen.Load()
 	available := l.Rng.Float64() < l.Human.Availability
 	if !available {
 		if l.Human.ContingencyAfter > 0 {
 			l.audit(now, "defer", "%s(%s): human absent, contingency in %v",
 				action.Kind, action.Subject, l.Human.ContingencyAfter)
 			l.Clock.AfterFunc(l.Human.ContingencyAfter, func() {
-				if l.enabled {
+				if l.deferredValid(gen) {
 					l.execute(now, l.Clock.Now(), action)
 				}
 			})
@@ -420,7 +454,7 @@ func (l *Loop) deferToHuman(now time.Duration, action Action) {
 	delay := l.Human.Latency.Sample(l.Rng)
 	l.audit(now, "defer", "%s(%s): awaiting approval, eta %v", action.Kind, action.Subject, delay)
 	l.Clock.AfterFunc(delay, func() {
-		if l.enabled {
+		if l.deferredValid(gen) {
 			l.execute(now, l.Clock.Now(), action)
 		}
 	})

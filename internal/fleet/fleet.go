@@ -51,10 +51,13 @@ type Metrics struct {
 	Conflicts  int // conflict groups resolved
 }
 
-// member is one registered loop with its arbitration priority.
+// member is one registered loop with its arbitration priority and tick
+// cadence (the loop plans on every every-th round).
 type member struct {
 	loop     *core.Loop
 	priority int
+	every    int
+	n        int // rounds since the member last planned
 }
 
 // Coordinator ticks a fleet of loops concurrently with cross-loop conflict
@@ -100,18 +103,53 @@ func (c *Coordinator) PublishTo(b *bus.Bus, source string) *Coordinator {
 // deterministic execute order. Loop names must be unique within a fleet so
 // conflict records are unambiguous.
 func (c *Coordinator) Add(l *core.Loop, priority int) {
+	c.AddEvery(l, priority, 1)
+}
+
+// AddEvery registers a loop that plans only on every every-th round — the
+// fleet-level form of a per-loop period: under a coordinator driven at base
+// cadence P, a loop spec'd with period N*P registers with every=N. The
+// first plan happens on the member's every-th round after joining.
+func (c *Coordinator) AddEvery(l *core.Loop, priority, every int) {
 	if l == nil {
 		panic("fleet: Add with nil loop")
 	}
 	if c.names[l.Name] {
 		panic(fmt.Sprintf("fleet: duplicate loop name %q", l.Name))
 	}
+	if every < 1 {
+		every = 1
+	}
 	c.names[l.Name] = true
-	c.members = append(c.members, member{loop: l, priority: priority})
+	c.members = append(c.members, member{loop: l, priority: priority, every: every})
+}
+
+// Remove unregisters the named loop mid-run and reports whether it was a
+// member. The loop itself is left in whatever lifecycle state it holds; use
+// Drain/Stop on the loop first for a graceful exit. Remove must be called
+// from the tick goroutine (no round may be in flight).
+func (c *Coordinator) Remove(name string) bool {
+	for i := range c.members {
+		if c.members[i].loop.Name == name {
+			c.members = append(c.members[:i], c.members[i+1:]...)
+			delete(c.names, name)
+			return true
+		}
+	}
+	return false
 }
 
 // Len reports how many loops are registered.
 func (c *Coordinator) Len() int { return len(c.members) }
+
+// Loops returns the registered loops in registration (execute) order.
+func (c *Coordinator) Loops() []*core.Loop {
+	out := make([]*core.Loop, len(c.members))
+	for i := range c.members {
+		out[i] = c.members[i].loop
+	}
+	return out
+}
 
 // Metrics returns a snapshot of the coordinator's counters.
 func (c *Coordinator) Metrics() Metrics { return c.metrics }
@@ -120,6 +158,7 @@ func (c *Coordinator) Metrics() Metrics { return c.metrics }
 // halves, round barrier, arbitration, then serial execute halves in
 // registration order.
 func (c *Coordinator) Tick(now time.Duration) {
+	c.pruneStopped()
 	n := len(c.members)
 	if n == 0 {
 		return
@@ -160,19 +199,55 @@ func (c *Coordinator) Tick(now time.Duration) {
 	}
 }
 
+// pruneStopped honors the lifecycle at the round boundary: draining members
+// complete their drain (no round is in flight here) and stopped members are
+// unregistered, so a drained loop leaves the fleet within one round.
+func (c *Coordinator) pruneStopped() {
+	keep := c.members[:0]
+	for i := range c.members {
+		l := c.members[i].loop
+		if l.State() == core.StateDraining {
+			l.FinishDrain()
+		}
+		if l.State() == core.StateStopped {
+			delete(c.names, l.Name)
+			continue
+		}
+		keep = append(keep, c.members[i])
+	}
+	if len(keep) < len(c.members) {
+		for i := len(keep); i < len(c.members); i++ {
+			c.members[i] = member{}
+		}
+		c.members = keep
+	}
+}
+
 // planRound fills plans[i] with members[i]'s PlanTick, fanning out over the
-// worker pool. Each loop is planned by exactly one worker; the shared
-// substrates the plan phases read (tsdb, knowledge, scheduler state) must be
-// safe for concurrent readers, which this repository's are.
+// worker pool; members whose cadence gates them out of this round get a nil
+// plan. Each loop is planned by exactly one worker; the shared substrates
+// the plan phases read (tsdb, knowledge, scheduler state) must be safe for
+// concurrent readers, which this repository's are.
 func (c *Coordinator) planRound(now time.Duration, plans []*core.PlannedTick) {
 	n := len(plans)
+	// Advance every member's cadence counter serially; a member is due this
+	// round iff its counter wrapped to zero.
+	for i := range c.members {
+		plans[i] = nil
+		m := &c.members[i]
+		if m.n++; m.n >= m.every {
+			m.n = 0
+		}
+	}
 	workers := c.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := range c.members {
-			plans[i] = c.members[i].loop.PlanTick(now)
+			if c.members[i].n == 0 {
+				plans[i] = c.members[i].loop.PlanTick(now)
+			}
 		}
 		return
 	}
@@ -187,7 +262,9 @@ func (c *Coordinator) planRound(now time.Duration, plans []*core.PlannedTick) {
 				if i >= n {
 					return
 				}
-				plans[i] = c.members[i].loop.PlanTick(now)
+				if c.members[i].n == 0 {
+					plans[i] = c.members[i].loop.PlanTick(now)
+				}
 			}
 		}()
 	}
