@@ -26,3 +26,9 @@ go test -run='^$' -bench='^BenchmarkFleetTick$/^loops=1000$' -benchtime=5x -coun
 # 0 allocs/op — TestLifecycleFastPathAllocs gates that exactly).
 go test -run='^$' -bench='^BenchmarkControlDispatch$' -benchtime=2000x -count="$count" ./internal/control
 go test -run='^$' -bench='^BenchmarkLifecycleCheck$' -benchtime=200000x -count="$count" ./internal/core
+# Durability hot paths: the journal append under group-commit batching and
+# with fsync disabled (TestWALAppendAllocs gates 0 allocs/record exactly),
+# plus full log replay throughput. sync=always is excluded — raw fsync
+# latency on a shared CI box is too noisy to gate; run it locally.
+go test -run='^$' -bench='^BenchmarkWALAppend$/^sync=(none|batch)$' -benchtime=20000x -count="$count" ./internal/wal
+go test -run='^$' -bench='^BenchmarkRecovery$' -benchtime=2x -count="$count" ./internal/wal

@@ -28,6 +28,7 @@ import (
 	"autoloop/internal/fleet"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/sim"
+	"autoloop/internal/wal"
 )
 
 // Version identifies the reproduction release.
@@ -77,6 +78,54 @@ type (
 	// HumanModel models the simulated approver for human-in-the-loop mode.
 	HumanModel = core.HumanModel
 )
+
+// Durability vocabulary (see internal/wal): stateful layers journal through
+// a segmented write-ahead log and checkpoint via atomic snapshots, giving
+// the daemon crash recovery (cmd/modad -wal-dir).
+type (
+	// WAL is the append-only segmented write-ahead log.
+	WAL = wal.WAL
+	// WALOptions tunes sync policy, group-commit interval, and segment size.
+	WALOptions = wal.Options
+	// SyncPolicy selects when appends reach stable storage.
+	SyncPolicy = wal.SyncPolicy
+	// WALRecord is one replayed log record.
+	WALRecord = wal.Record
+	// CorruptError is the typed error surfaced for damaged log data.
+	CorruptError = wal.CorruptError
+	// ControlSnapshot is the control plane's serialized state.
+	ControlSnapshot = control.ServiceSnap
+)
+
+// WAL sync policies and record-kind namespace.
+const (
+	SyncBatch  = wal.SyncBatch
+	SyncAlways = wal.SyncAlways
+	SyncNone   = wal.SyncNone
+
+	KindTSDBAppend  = wal.KindTSDBAppend
+	KindBusEnvelope = wal.KindBusEnvelope
+	KindKnowledgeOp = wal.KindKnowledgeOp
+)
+
+// OpenWAL opens (or creates) a write-ahead log in dir, repairing any torn
+// tail left by a crash.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
+
+// ParseSyncPolicy parses "batch", "always", or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// WriteSnapshot atomically writes a named, CRC-guarded snapshot covering the
+// WAL up to seq; LatestSnapshot returns the newest valid one.
+func WriteSnapshot(dir, name string, seq uint64, payload []byte) error {
+	return wal.WriteSnapshot(dir, name, seq, payload)
+}
+
+// LatestSnapshot returns the newest valid snapshot payload for name and the
+// WAL sequence it covers; ok is false when none exists.
+func LatestSnapshot(dir, name string) (payload []byte, seq uint64, ok bool, err error) {
+	return wal.LatestSnapshot(dir, name)
+}
 
 // Operating modes (§IV).
 const (

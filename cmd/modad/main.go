@@ -11,17 +11,34 @@
 // Usage:
 //
 //	modad -addr 127.0.0.1:7675 -speed 60 -duration 2m [-specs file.json]
+//	      [-wal-dir dir] [-fsync batch|always|none] [-snapshot-every 10m]
 //
 // speed compresses virtual time: 60 means one wall second carries one
 // virtual minute. The fleet is built through the control registry from JSON
 // loop specs; -specs replaces the built-in pair (power + ost).
+//
+// With -wal-dir the daemon is durable: every accepted TSDB append, every
+// knowledge-base mutation, and the loop/fleet/control bus traffic are
+// journaled to a segmented write-ahead log, and the whole daemon state
+// (TSDB, knowledge, control plane) is snapshotted periodically. On restart
+// with the same -wal-dir, the daemon restores the newest snapshot, replays
+// the WAL tail, re-spawns its fleet in the recorded lifecycle states, and
+// resumes — including the pending human-approval queue. SIGINT/SIGTERM
+// triggers a graceful shutdown: a final snapshot is written while the fleet
+// is still live, the loops drain, and the log is fsynced and closed.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"autoloop/internal/app"
@@ -37,6 +54,7 @@ import (
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
+	"autoloop/internal/wal"
 )
 
 // defaultSpecs is the fleet modad deploys when no -specs file is given:
@@ -46,6 +64,28 @@ const defaultSpecs = `[
   {"case": "power", "period": "1m"},
   {"case": "ost", "period": "1m"}
 ]`
+
+// daemonSnapshot is the combined snapshot payload stored under the "modad"
+// snapshot name: the WAL sequence it covers, the virtual time it was taken
+// at, and each subsystem's own serialized state.
+type daemonSnapshot struct {
+	Seq       uint64          `json:"seq"`
+	Now       time.Duration   `json:"now"`
+	TSDB      json.RawMessage `json:"tsdb"`
+	Knowledge json.RawMessage `json:"knowledge"`
+	Control   json.RawMessage `json:"control"`
+}
+
+// journaledTopic selects the bus traffic worth journaling: loop lifecycle
+// and audit events, fleet round summaries, and control.v1 requests and
+// resolutions. Telemetry topics are excluded — every accepted point is
+// already journaled by the TSDB, so recording the fan-out envelopes would
+// double the log for no recovery value.
+func journaledTopic(topic string) bool {
+	return strings.HasPrefix(topic, "loop.") ||
+		strings.HasPrefix(topic, "fleet.") ||
+		strings.HasPrefix(topic, "control.v1.")
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -59,6 +99,9 @@ func run() error {
 	speed := flag.Int("speed", 60, "virtual seconds per wall second")
 	duration := flag.Duration("duration", 2*time.Minute, "wall-clock run time (0 = forever)")
 	specsPath := flag.String("specs", "", "JSON loop-spec file replacing the built-in fleet")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory (empty = no durability)")
+	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch, always, or none")
+	snapEvery := flag.Duration("snapshot-every", 10*time.Minute, "virtual time between snapshots")
 	flag.Parse()
 
 	specsJSON := []byte(defaultSpecs)
@@ -74,12 +117,43 @@ func run() error {
 		return err
 	}
 
+	// Durability, part 1: open the log (repairing any torn tail left by a
+	// crash) and read the newest valid snapshot BEFORE the simulation is
+	// built, because the virtual clock must resume from the snapshot's time
+	// — every subsystem constructed below schedules against it.
+	var w *wal.WAL
+	var snap *daemonSnapshot
+	if *walDir != "" {
+		pol, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		if w, err = wal.Open(*walDir, wal.Options{Sync: pol}); err != nil {
+			return err
+		}
+		defer w.Close()
+		payload, _, ok, err := wal.LatestSnapshot(*walDir, "modad")
+		if err != nil {
+			return err
+		}
+		if ok {
+			snap = &daemonSnapshot{}
+			if err := json.Unmarshal(payload, snap); err != nil {
+				return fmt.Errorf("decode snapshot: %w", err)
+			}
+		}
+	}
+
 	engine := sim.NewEngine(1)
+	if snap != nil && snap.Now > 0 {
+		engine.RunUntil(snap.Now) // nothing scheduled yet: jumps the clock
+	}
 	db := tsdb.New(2 * time.Hour)
 	b := bus.New()
 
 	// Continuous rollups: coarse aggregates are maintained at append time
-	// and stay queryable for a day, long past the 2h raw retention.
+	// and stay queryable for a day, long past the 2h raw retention. Rules
+	// are registered before any restore so recovered series re-attach them.
 	for _, rule := range []tsdb.RollupRule{
 		{Metric: "node.temp.celsius", Step: 5 * time.Minute, Agg: tsdb.AggMean, Retention: 24 * time.Hour},
 		{Metric: "facility.pue", Step: 5 * time.Minute, Agg: tsdb.AggMean, Retention: 24 * time.Hour},
@@ -123,6 +197,7 @@ func run() error {
 	// coordinator and spawns every loop from its JSON spec through the case
 	// registry; the same service answers control.v1 requests from the wire
 	// and runs the pending-approval queue for human-in-the-loop actions.
+	kb := knowledge.NewBase()
 	env := &control.Env{
 		Querier:   q,
 		Plant:     plant,
@@ -130,7 +205,7 @@ func run() error {
 		Apps:      runtime,
 		Cluster:   cl,
 		FS:        fs,
-		Knowledge: knowledge.NewBase(),
+		Knowledge: kb,
 		Clock:     sim.VirtualClock{Engine: engine},
 		Rng:       rand.New(rand.NewSource(1)),
 		Bus:       b,
@@ -138,9 +213,79 @@ func run() error {
 	coord := fleet.New(0).PublishTo(b, "modad")
 	ctl := control.NewService(cases.NewRegistry(), env, coord, time.Minute).Attach(b, "modad")
 	defer ctl.Close()
-	for _, spec := range specs {
-		if _, err := ctl.Spawn(spec); err != nil {
+
+	// Durability, part 2: restore each subsystem from the snapshot, replay
+	// the WAL tail on top, and only then attach the journals — replayed
+	// records must never be re-journaled.
+	recovered := false
+	if w != nil {
+		replayFrom := uint64(1)
+		if snap != nil {
+			if err := db.RestoreSnapshot(snap.TSDB); err != nil {
+				return err
+			}
+			if err := kb.Load(bytes.NewReader(snap.Knowledge)); err != nil {
+				return err
+			}
+			if err := ctl.Restore(snap.Control); err != nil {
+				return err
+			}
+			replayFrom = snap.Seq + 1
+			recovered = true
+		}
+		replayed := 0
+		r, err := w.Replay(replayFrom)
+		if err != nil {
 			return err
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return fmt.Errorf("wal replay: %w", err)
+			}
+			switch rec.Kind {
+			case wal.KindTSDBAppend:
+				err = db.ApplyWAL(rec.Payload)
+			case wal.KindKnowledgeOp:
+				err = kb.ApplyWAL(rec.Seq, rec.Payload)
+			case wal.KindBusEnvelope:
+				// Audit trail only: recorded traffic is not re-published.
+			}
+			if err != nil {
+				r.Close()
+				return fmt.Errorf("wal replay seq %d: %w", rec.Seq, err)
+			}
+			replayed++
+		}
+		r.Close()
+		if recovered || replayed > 0 {
+			fmt.Printf("modad: recovered from %s: snapshot @ seq %d + %d replayed records (%d series, %d samples)\n",
+				*walDir, replayFrom-1, replayed, db.NumSeries(), db.Appended())
+		}
+
+		db.Journal(w)
+		kb.Journal(w)
+		b.Journal(func(env bus.Envelope) {
+			if !journaledTopic(env.Topic) {
+				return
+			}
+			if line, err := bus.Encode(env); err == nil {
+				w.Append(wal.KindBusEnvelope, line)
+			}
+		})
+	}
+
+	// A recovered control plane re-spawned its fleet from the snapshot; a
+	// fresh one deploys the configured specs.
+	if !recovered {
+		for _, spec := range specs {
+			if _, err := ctl.Spawn(spec); err != nil {
+				return err
+			}
 		}
 	}
 	// One control round every 2nd sample = every virtual minute. Loop
@@ -149,10 +294,58 @@ func run() error {
 	// same bus as the telemetry.
 	pipe.Drive(ctl, 2)
 
-	engine.Every(30*time.Second, 30*time.Second, func() bool {
+	// Every takes an absolute start time: offset by Now so the schedule
+	// works from a recovered clock as well as from zero.
+	engine.Every(engine.Now()+30*time.Second, 30*time.Second, func() bool {
 		pipe.Sample(engine.Now())
 		return true
 	})
+
+	// snapshot writes one combined snapshot covering everything the log
+	// holds up to now, then compacts the segments it supersedes. Sync comes
+	// first: a snapshot must never claim to cover records that are still
+	// sitting in the group-commit buffer.
+	snapshot := func() error {
+		if w == nil {
+			return nil
+		}
+		if err := w.Sync(); err != nil {
+			return err
+		}
+		seq := w.LastSeq()
+		tsnap, err := db.Snapshot()
+		if err != nil {
+			return err
+		}
+		var kbuf bytes.Buffer
+		if err := kb.Save(&kbuf); err != nil {
+			return err
+		}
+		csnap, err := ctl.Snapshot()
+		if err != nil {
+			return err
+		}
+		payload, err := json.Marshal(&daemonSnapshot{
+			Seq: seq, Now: engine.Now(),
+			TSDB: tsnap, Knowledge: kbuf.Bytes(), Control: csnap,
+		})
+		if err != nil {
+			return err
+		}
+		if err := wal.WriteSnapshot(*walDir, "modad", seq, payload); err != nil {
+			return err
+		}
+		_, err = w.Compact(seq + 1)
+		return err
+	}
+	if w != nil && *snapEvery > 0 {
+		engine.Every(engine.Now()+*snapEvery, *snapEvery, func() bool {
+			if err := snapshot(); err != nil {
+				fmt.Fprintln(os.Stderr, "modad: snapshot:", err)
+			}
+			return true
+		})
+	}
 
 	// A rolling synthetic workload keeps the signals alive.
 	for i := 0; i < 6; i++ {
@@ -175,16 +368,53 @@ func run() error {
 	fmt.Printf("modad: serving telemetry, loop, fleet, and control.v1 envelopes on %s (speed %dx, %d loops)\n",
 		srv.Addr(), *speed, coord.Len())
 
-	// Drive the simulation against the wall clock.
+	// Drive the simulation against the wall clock; SIGINT/SIGTERM begins a
+	// graceful shutdown.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	vbase := engine.Now()
 	start := time.Now()
 	tick := time.NewTicker(250 * time.Millisecond)
 	defer tick.Stop()
-	for range tick.C {
-		wall := time.Since(start)
-		if *duration > 0 && wall >= *duration {
-			break
+loop:
+	for {
+		select {
+		case <-tick.C:
+			wall := time.Since(start)
+			if *duration > 0 && wall >= *duration {
+				break loop
+			}
+			engine.RunUntil(vbase + time.Duration(int64(wall)*int64(*speed)))
+		case sig := <-sigs:
+			fmt.Printf("modad: %v: shutting down\n", sig)
+			break loop
 		}
-		engine.RunUntil(time.Duration(int64(wall) * int64(*speed)))
+	}
+
+	// Shutdown: snapshot FIRST, while the fleet still holds its live
+	// lifecycle states — a restart with the same -wal-dir resumes exactly
+	// here. Then drain the loops so no plan is cut mid-action, and finally
+	// flush and fsync the log.
+	if err := snapshot(); err != nil {
+		fmt.Fprintln(os.Stderr, "modad: final snapshot:", err)
+	}
+	for _, st := range ctl.Handle(control.Request{Op: control.OpList}).Loops {
+		if st.Name == st.Group && (st.State == "created" || st.State == "running") {
+			ctl.Handle(control.Request{Op: control.OpDrain, Loop: st.Name})
+		}
+	}
+	ctl.Tick(engine.Now() + time.Minute) // one settling round completes the drains
+	if w != nil {
+		if err := kb.JournalErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "modad: journal:", err)
+		}
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "modad: wal close:", err)
+		}
+		m := w.Metrics()
+		fmt.Printf("modad: wal closed; %d records, %d bytes, %d syncs, %d rotations\n",
+			m.Appends, m.Bytes, m.Syncs, m.Rotations)
 	}
 	cm := coord.Metrics()
 	fmt.Printf("modad: done; %d series, %d samples stored; fleet ran %d rounds (%d actions, %d arbitrated)\n",

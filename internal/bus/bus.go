@@ -80,6 +80,12 @@ type Bus struct {
 	published atomic.Uint64
 	delivered atomic.Uint64
 	expired   atomic.Uint64
+
+	// journal, when set, observes every envelope accepted for delivery
+	// (expired drops excluded) before its handlers run. It is the WAL hook:
+	// the daemon records published envelopes as an audit trail. Swapped
+	// atomically so the publish hot path reads one pointer.
+	journal atomic.Pointer[func(Envelope)]
 }
 
 // New returns an empty bus.
@@ -298,6 +304,9 @@ func (b *Bus) Publish(env Envelope) {
 	matched := b.collectLocked(env.Topic)
 	b.mu.RUnlock()
 
+	if j := b.journal.Load(); j != nil {
+		(*j)(env)
+	}
 	b.published.Add(1)
 	b.delivered.Add(uint64(len(matched)))
 	for _, h := range matched {
@@ -344,6 +353,13 @@ func (b *Bus) PublishBatch(envs []Envelope) {
 	}
 	b.mu.RUnlock()
 
+	if j := b.journal.Load(); j != nil {
+		for i := range envs {
+			if !envs[i].Expired(envs[i].Time) {
+				(*j)(envs[i])
+			}
+		}
+	}
 	b.published.Add(uint64(len(envs) - dropped))
 	b.delivered.Add(uint64(total))
 	b.expired.Add(uint64(dropped))
@@ -352,6 +368,20 @@ func (b *Bus) PublishBatch(envs []Envelope) {
 			h(env)
 		}
 	}
+}
+
+// Journal registers fn as the bus's journal hook: it observes every
+// envelope accepted for delivery (expired drops excluded), before the
+// envelope's handlers run and in publish order per publisher. The daemon
+// uses it to record traffic into the write-ahead log as an audit trail;
+// journaled envelopes are never re-published on recovery. Passing nil
+// removes the hook. fn must be safe for concurrent use.
+func (b *Bus) Journal(fn func(Envelope)) {
+	if fn == nil {
+		b.journal.Store(nil)
+		return
+	}
+	b.journal.Store(&fn)
 }
 
 // Stats reports how many envelopes were published and delivered.

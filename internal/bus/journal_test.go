@@ -1,0 +1,47 @@
+package bus
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJournalHookObservesPublishes checks the journal hook sees every
+// envelope accepted for delivery — including envelopes with zero
+// subscribers — in publish order, and never sees an expired drop.
+func TestJournalHookObservesPublishes(t *testing.T) {
+	b := New()
+	var seen []string
+	b.Journal(func(env Envelope) { seen = append(seen, env.Topic) })
+
+	delivered := 0
+	b.Subscribe("loop.*", func(Envelope) { delivered++ })
+
+	b.Publish(Envelope{Topic: "loop.power.plan", Time: time.Second})
+	b.Publish(Envelope{Topic: "orphan.topic", Time: time.Second}) // no subscriber, still journaled
+	b.Publish(Envelope{Topic: "loop.dead", Time: 10 * time.Second, Deadline: 5 * time.Second})
+	b.PublishBatch([]Envelope{
+		{Topic: "loop.a", Time: time.Second},
+		{Topic: "loop.expired", Time: 10 * time.Second, Deadline: time.Second},
+		{Topic: "loop.b", Time: time.Second},
+	})
+
+	want := []string{"loop.power.plan", "orphan.topic", "loop.a", "loop.b"}
+	if len(seen) != len(want) {
+		t.Fatalf("journal saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("journal saw %v, want %v", seen, want)
+		}
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
+	}
+
+	// Removing the hook stops observation.
+	b.Journal(nil)
+	b.Publish(Envelope{Topic: "loop.after", Time: time.Second})
+	if len(seen) != len(want) {
+		t.Fatalf("journal still active after removal: %v", seen)
+	}
+}

@@ -64,6 +64,10 @@ type managedGroup struct {
 	loops    []*core.Loop
 	priority int
 	period   time.Duration
+	// guards records the GuardSpecs applied by set-guard ops since spawn,
+	// so snapshots can re-apply them on recovery (the built core.Guardrail
+	// instances themselves are not serializable).
+	guards []GuardSpec
 }
 
 // pendingEntry is one queued approval with its timeout policy.
@@ -540,6 +544,7 @@ func (s *Service) Handle(req Request) Reply {
 			}
 			l.Guards = append(l.Guards, guard)
 		}
+		g.guards = append(g.guards, *req.Guard)
 		st := s.statusLocked(g, g.loops[0])
 		s.mu.Unlock()
 		r.Loop = &st

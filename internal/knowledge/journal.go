@@ -1,0 +1,128 @@
+package knowledge
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"autoloop/internal/wal"
+)
+
+// Write-ahead journaling. Every mutating operation on the Base — AddRun,
+// RecordPlan, ResolvePlan, ResolveCorrection, SetFact — is serialized as one
+// JSON walOp and emitted as a wal.KindKnowledgeOp record while the base's
+// write lock is held, so the log order equals the apply order (RecordPlan's
+// returned index, for instance, is implied by that order). Recovery loads
+// the newest snapshot (Save/Load) and replays the WAL tail through ApplyWAL;
+// the base tracks the WAL sequence of its last journaled op and snapshots
+// carry it, so records the snapshot already reflects are skipped exactly —
+// re-applying an AddRun is not idempotent, a duplicate run record would
+// shift every median and similarity query.
+
+// Journaler is the sink mutations are logged to; *wal.WAL satisfies it.
+type Journaler interface {
+	Append(kind uint8, payload []byte) (uint64, error)
+}
+
+// walOp is the JSON journal form of one mutation. Op selects the variant;
+// only that variant's fields are populated.
+type walOp struct {
+	Op        string      `json:"op"` // "run" | "plan" | "resolve_plan" | "resolve_corr" | "fact"
+	Run       *RunRecord  `json:"run,omitempty"`
+	Plan      *PlanRecord `json:"plan,omitempty"`
+	Idx       int         `json:"idx,omitempty"`
+	Actual    float64     `json:"actual,omitempty"`
+	Honored   bool        `json:"honored,omitempty"`
+	App       string      `json:"app,omitempty"`
+	Predicted float64     `json:"predicted,omitempty"`
+	Key       string      `json:"key,omitempty"`
+	Value     float64     `json:"value,omitempty"`
+}
+
+// Journal attaches the write-ahead journal. Call it before the base is
+// shared with loop goroutines and after any Load/ApplyWAL recovery.
+func (b *Base) Journal(j Journaler) {
+	b.mu.Lock()
+	b.journal = j
+	b.mu.Unlock()
+}
+
+// JournalErr returns the first error the journal reported, if any. Journal
+// failures do not block the in-memory mutation (the loops keep running on a
+// full disk), but they make the next snapshot the only durable state, so the
+// daemon surfaces this error on shutdown.
+func (b *Base) JournalErr() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.jerr
+}
+
+// journalLocked emits one op. Callers hold the write lock, which orders the
+// emitted records exactly like the mutations they describe.
+func (b *Base) journalLocked(op *walOp) {
+	if b.journal == nil {
+		return
+	}
+	data, err := json.Marshal(op)
+	if err == nil {
+		var seq uint64
+		if seq, err = b.journal.Append(wal.KindKnowledgeOp, data); err == nil {
+			b.walSeq = seq
+		}
+	}
+	if err != nil && b.jerr == nil {
+		b.jerr = err
+	}
+}
+
+// ApplyWAL applies one wal.KindKnowledgeOp record during recovery. seq is
+// the record's WAL sequence: records at or below the sequence the restored
+// snapshot covers (carried inside the snapshot itself) are skipped, so
+// replaying a tail that overlaps the snapshot is exact, never double-
+// applied. It must run before Journal is attached.
+func (b *Base) ApplyWAL(seq uint64, payload []byte) error {
+	var op walOp
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return fmt.Errorf("knowledge: journal decode: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq <= b.walSeq {
+		return nil // already reflected by the snapshot this replay tails
+	}
+	if err := b.applyOpLocked(&op); err != nil {
+		return err
+	}
+	b.walSeq = seq
+	return nil
+}
+
+// applyOpLocked replays one decoded op under the write lock, without
+// re-journaling.
+func (b *Base) applyOpLocked(op *walOp) error {
+	switch op.Op {
+	case "run":
+		if op.Run == nil {
+			return fmt.Errorf("knowledge: journal run op without record")
+		}
+		b.runs = append(b.runs, *op.Run)
+	case "plan":
+		if op.Plan == nil {
+			return fmt.Errorf("knowledge: journal plan op without record")
+		}
+		b.plans = append(b.plans, *op.Plan)
+	case "resolve_plan":
+		if op.Idx < 0 || op.Idx >= len(b.plans) {
+			return fmt.Errorf("knowledge: journal resolves plan %d of %d", op.Idx, len(b.plans))
+		}
+		b.plans[op.Idx].Actual = op.Actual
+		b.plans[op.Idx].Honored = op.Honored
+		b.plans[op.Idx].Resolved = true
+	case "resolve_corr":
+		b.resolveCorrectionLocked(op.App, op.Predicted, op.Actual)
+	case "fact":
+		b.facts[op.Key] = op.Value
+	default:
+		return fmt.Errorf("knowledge: unknown journal op %q", op.Op)
+	}
+	return nil
+}

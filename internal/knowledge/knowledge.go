@@ -72,6 +72,14 @@ type Base struct {
 	corrN map[string]int
 	// facts is a small typed blackboard for loop-specific knowledge.
 	facts map[string]float64
+
+	// journal, when non-nil, receives every mutation as a WAL record (see
+	// journal.go); walSeq is the sequence of the last journaled or replayed
+	// op, carried in snapshots so tail replay skips covered records. jerr is
+	// the sticky first journal failure.
+	journal Journaler
+	walSeq  uint64
+	jerr    error
 }
 
 // NewBase returns an empty knowledge base.
@@ -88,6 +96,7 @@ func (b *Base) AddRun(r RunRecord) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.runs = append(b.runs, r)
+	b.journalLocked(&walOp{Op: "run", Run: &r})
 }
 
 // Runs returns all run records (copy).
@@ -156,6 +165,7 @@ func (b *Base) RecordPlan(p PlanRecord) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.plans = append(b.plans, p)
+	b.journalLocked(&walOp{Op: "plan", Plan: &p})
 	return len(b.plans) - 1
 }
 
@@ -169,6 +179,7 @@ func (b *Base) ResolvePlan(idx int, actual float64, honored bool) error {
 	b.plans[idx].Actual = actual
 	b.plans[idx].Honored = honored
 	b.plans[idx].Resolved = true
+	b.journalLocked(&walOp{Op: "resolve_plan", Idx: idx, Actual: actual, Honored: honored})
 	return nil
 }
 
@@ -249,6 +260,16 @@ func (b *Base) ResolveCorrection(app string, predicted, actual float64) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.resolveCorrectionLocked(app, predicted, actual)
+	b.journalLocked(&walOp{Op: "resolve_corr", App: app, Predicted: predicted, Actual: actual})
+}
+
+// resolveCorrectionLocked is the correction update shared by the live path
+// and WAL replay. Callers hold the write lock.
+func (b *Base) resolveCorrectionLocked(app string, predicted, actual float64) {
+	if predicted <= 0 || actual <= 0 {
+		return
+	}
 	ratio := actual / predicted
 	// Clamp single-shot updates: one pathological run must not poison K.
 	if ratio > 3 {
@@ -272,6 +293,7 @@ func (b *Base) SetFact(key string, v float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.facts[key] = v
+	b.journalLocked(&walOp{Op: "fact", Key: key, Value: v})
 }
 
 // Fact retrieves a named scalar fact.
@@ -289,6 +311,9 @@ type snapshot struct {
 	Corr  map[string]float64 `json:"corrections"`
 	CorrN map[string]int     `json:"correction_counts"`
 	Facts map[string]float64 `json:"facts"`
+	// WalSeq is the WAL sequence of the last journaled op this snapshot
+	// reflects; ApplyWAL skips records at or below it during tail replay.
+	WalSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // Save writes the knowledge base as JSON (the open-dataset export). The
@@ -299,11 +324,12 @@ type snapshot struct {
 func (b *Base) Save(w io.Writer) error {
 	b.mu.RLock()
 	snap := snapshot{
-		Runs:  append([]RunRecord(nil), b.runs...),
-		Plans: append([]PlanRecord(nil), b.plans...),
-		Corr:  make(map[string]float64, len(b.corr)),
-		CorrN: make(map[string]int, len(b.corrN)),
-		Facts: make(map[string]float64, len(b.facts)),
+		Runs:   append([]RunRecord(nil), b.runs...),
+		Plans:  append([]PlanRecord(nil), b.plans...),
+		Corr:   make(map[string]float64, len(b.corr)),
+		CorrN:  make(map[string]int, len(b.corrN)),
+		Facts:  make(map[string]float64, len(b.facts)),
+		WalSeq: b.walSeq,
 	}
 	for i, r := range snap.Runs {
 		if r.Signature != nil {
@@ -351,5 +377,6 @@ func (b *Base) Load(r io.Reader) error {
 	if b.facts == nil {
 		b.facts = make(map[string]float64)
 	}
+	b.walSeq = snap.WalSeq
 	return nil
 }

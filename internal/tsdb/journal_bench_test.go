@@ -1,0 +1,52 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autoloop/internal/telemetry"
+	"autoloop/internal/wal"
+)
+
+// BenchmarkJournalOverhead compares the batched ingest path with and
+// without a WAL attached, at the default group-commit policy. The wal=off
+// row is the in-memory baseline; the wal=on delta is what durability costs
+// the caller: point encoding plus a buffered frame append — the write and
+// fsync happen on the group-commit goroutine, off the append path. Not part
+// of the CI bench gate: at benchmark rates the log sustains >100 MB/s, so
+// on a shared box the wal=on row measures disk throughput as much as CPU;
+// run locally on fast storage for the overhead ratio (≈1.7× here).
+func BenchmarkJournalOverhead(b *testing.B) {
+	for _, journaled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("wal=%v", journaled), func(b *testing.B) {
+			db := New(0)
+			if journaled {
+				w, err := wal.Open(b.TempDir(), wal.Options{})
+				if err != nil {
+					b.Fatalf("Open: %v", err)
+				}
+				defer w.Close()
+				db.Journal(w)
+			}
+			pts := make([]telemetry.Point, 128)
+			for i := range pts {
+				pts[i] = telemetry.Point{
+					Name:   "node.temp.celsius",
+					Labels: telemetry.Labels{"node": fmt.Sprintf("node%03d", i), "rack": fmt.Sprintf("r%d", i/16)},
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range pts {
+					pts[j].Time = time.Duration(i) * time.Millisecond
+					pts[j].Value = float64(i)
+				}
+				if err := db.AppendBatch(pts); err != nil {
+					b.Fatalf("AppendBatch: %v", err)
+				}
+			}
+		})
+	}
+}

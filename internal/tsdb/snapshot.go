@@ -1,0 +1,154 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// Snapshot serialization. A snapshot captures everything replay cannot
+// cheaply rebuild: every series' live raw samples plus the full state of its
+// continuous rollups — the flushed rollup samples AND the open bucket's raw
+// values. Rollup state must be explicit because rollup retention outlives
+// raw retention: by the time a snapshot is taken, the samples that produced
+// an old rollup bucket are long expired, so re-observing raw samples could
+// never reconstruct it.
+//
+// Shard placement is NOT serialized: the identity hash is seeded per process,
+// so a restored series may land on a different shard than it occupied in the
+// previous run. That is invisible to callers — every query path sorts its
+// results by series label key. The Appended counter is carried as a single
+// total and credited to shard 0 on restore.
+
+// seriesSnap is one series' serialized state.
+type seriesSnap struct {
+	Name    string             `json:"name"`
+	Labels  telemetry.Labels   `json:"labels,omitempty"`
+	Samples []telemetry.Sample `json:"samples,omitempty"`
+	Rollups []rollupSnap       `json:"rollups,omitempty"`
+}
+
+// rollupSnap is one seriesRollup's serialized state, keyed by the rule's
+// identity (metric is the owning series' name).
+type rollupSnap struct {
+	Step      time.Duration      `json:"step"`
+	Agg       Agg                `json:"agg"`
+	Retention time.Duration      `json:"retention,omitempty"`
+	Bucket    int64              `json:"bucket"`
+	Values    []float64          `json:"values,omitempty"`
+	Samples   []telemetry.Sample `json:"samples,omitempty"`
+}
+
+// dbSnap is the whole database's serialized state.
+type dbSnap struct {
+	Appended uint64       `json:"appended"`
+	Series   []seriesSnap `json:"series,omitempty"`
+}
+
+// Snapshot serializes the database: every series' live samples and complete
+// rollup states, plus the appended counter. Series are sorted by (name,
+// label key) so the bytes are deterministic for a given logical state. Each
+// shard is read-locked briefly in turn; taken under live ingestion the
+// snapshot is a consistent-per-series (not globally instantaneous) cut,
+// which recovery's skip-behind-tail replay is designed for.
+func (db *DB) Snapshot() ([]byte, error) {
+	var snap dbSnap
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		snap.Appended += sh.appended
+		for name, fams := range sh.byName {
+			for _, s := range fams {
+				ss := seriesSnap{Name: name, Labels: s.labels.Clone()}
+				if live := s.live(); len(live) > 0 {
+					ss.Samples = append([]telemetry.Sample(nil), live...)
+				}
+				for _, sr := range s.rollups {
+					rs := rollupSnap{
+						Step:      sr.rule.Step,
+						Agg:       sr.rule.Agg,
+						Retention: sr.rule.Retention,
+						Bucket:    sr.bucket,
+					}
+					if len(sr.values) > 0 {
+						rs.Values = append([]float64(nil), sr.values...)
+					}
+					if live := sr.live(); len(live) > 0 {
+						rs.Samples = append([]telemetry.Sample(nil), live...)
+					}
+					ss.Rollups = append(ss.Rollups, rs)
+				}
+				snap.Series = append(snap.Series, ss)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(snap.Series, func(a, b int) bool {
+		sa, sb := &snap.Series[a], &snap.Series[b]
+		if sa.Name != sb.Name {
+			return sa.Name < sb.Name
+		}
+		return sa.Labels.Key() < sb.Labels.Key()
+	})
+	return json.Marshal(&snap)
+}
+
+// RestoreSnapshot rebuilds the database from a Snapshot payload. It must be
+// called on a freshly created DB — after the application has registered its
+// rollup rules and before any appends, replay, or Journal attach. Rollup
+// states recorded in the snapshot are restored verbatim; a registered rule
+// the snapshot does not know (added since the snapshot was taken) is
+// backfilled from the restored raw samples, exactly as AddRollup would.
+func (db *DB) RestoreSnapshot(data []byte) error {
+	var snap dbSnap
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("tsdb: restore snapshot: %w", err)
+	}
+	rules := db.loadRules()
+	for si := range snap.Series {
+		ss := &snap.Series[si]
+		if ss.Name == "" {
+			return fmt.Errorf("tsdb: restore snapshot: series %d has no name", si)
+		}
+		p := telemetry.Point{Name: ss.Name, Labels: ss.Labels}
+		h := identityOf(&p)
+		sh := &db.shards[shardIndex(h)]
+		sh.mu.Lock()
+		if sh.lookup(h, &p) != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("tsdb: restore snapshot: duplicate series %s%s", ss.Name, ss.Labels)
+		}
+		// Create without attaching rules: rollup states come from the
+		// snapshot, not from fresh (empty) rule instances.
+		s := sh.create(&p, h, nil, db.noteName)
+		s.samples = ss.Samples
+		for _, rs := range ss.Rollups {
+			s.rollups = append(s.rollups, &seriesRollup{
+				rule:    RollupRule{Metric: ss.Name, Step: rs.Step, Agg: rs.Agg, Retention: rs.Retention},
+				bucket:  rs.Bucket,
+				values:  rs.Values,
+				samples: rs.Samples,
+			})
+		}
+		// Backfill registered rules the snapshot predates.
+		for i := range rules {
+			if rules[i].Metric != ss.Name || s.hasRollup(rules[i]) {
+				continue
+			}
+			sr := newSeriesRollup(rules[i])
+			for _, smp := range s.live() {
+				sr.observe(smp.Time, smp.Value, false)
+			}
+			s.rollups = append(s.rollups, sr)
+		}
+		sh.mu.Unlock()
+	}
+	sh0 := &db.shards[0]
+	sh0.mu.Lock()
+	sh0.appended += snap.Appended
+	sh0.mu.Unlock()
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"autoloop/internal/telemetry"
+	"autoloop/internal/wal"
 )
 
 // DB is an in-memory sharded time-series database. It is safe for concurrent
@@ -46,6 +47,11 @@ type DB struct {
 	// creation is rare, so a single small mutex does not stripe.
 	nameMu sync.Mutex
 	names  map[string]struct{}
+
+	// journal, when non-nil, receives every accepted append as a WAL record
+	// emitted under the owning shard's lock (see journal.go). Set via
+	// Journal before ingestion starts; read on the hot path unsynchronized.
+	journal Journaler
 }
 
 // New returns an empty database that retains samples for the given duration;
@@ -82,6 +88,11 @@ func (db *DB) Append(p telemetry.Point) error {
 	sh := &db.shards[shardIndex(h)]
 	sh.mu.Lock()
 	err := db.appendLocked(sh, &p, h)
+	if err == nil && db.journal != nil {
+		// Journal while still holding the shard lock so the per-series
+		// record order in the log equals the apply order.
+		err = db.journalLocked(&p)
+	}
 	sh.mu.Unlock()
 	return err
 }
@@ -170,20 +181,45 @@ func (db *DB) AppendBatch(pts []telemetry.Point) error {
 	}
 	var first error
 	firstAt := int32(len(pts))
+	var jerr error
+	var eb *encBuf
+	if db.journal != nil {
+		eb = encScratch.Get().(*encBuf)
+	}
 	for si := 0; si < numShards; si++ {
 		if counts[si] == 0 {
 			continue
 		}
 		sh := &db.shards[si]
 		sh.mu.Lock()
+		if eb != nil {
+			eb.b = eb.b[:0]
+		}
 		for _, i := range order[offsets[si] : offsets[si]+counts[si]] {
-			if err := db.appendLocked(sh, &pts[i], hs[i]); err != nil && i < firstAt {
-				first, firstAt = err, i
+			if err := db.appendLocked(sh, &pts[i], hs[i]); err != nil {
+				if i < firstAt {
+					first, firstAt = err, i
+				}
+			} else if eb != nil {
+				eb.b = appendPointEnc(eb.b, &pts[i])
+			}
+		}
+		// One WAL record per touched shard, emitted before the shard
+		// unlocks so per-series log order equals apply order.
+		if eb != nil && len(eb.b) > 0 {
+			if _, err := db.journal.Append(wal.KindTSDBAppend, eb.b); err != nil && jerr == nil {
+				jerr = err
 			}
 		}
 		sh.mu.Unlock()
 	}
+	if eb != nil {
+		encScratch.Put(eb)
+	}
 	batchScratch.Put(scratch)
+	if first == nil {
+		first = jerr
+	}
 	return first
 }
 

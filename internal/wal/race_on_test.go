@@ -1,0 +1,7 @@
+//go:build race
+
+package wal
+
+// raceEnabled reports whether the race detector is active. Allocation gates
+// are skipped under -race because the detector's instrumentation allocates.
+const raceEnabled = true

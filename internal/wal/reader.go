@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// errSegmentEnd is the internal clean-end sentinel of one segment.
+var errSegmentEnd = errors.New("wal: segment end")
+
+// segmentReader decodes frames from one segment, tracking the byte offset
+// and frame count so corruption reports are precise.
+type segmentReader struct {
+	br     *bufio.Reader
+	path   string
+	first  uint64
+	count  uint64 // frames decoded so far
+	offset int64  // byte offset of the next frame
+	body   []byte // reused body buffer
+}
+
+func newSegmentReader(r io.Reader, path string, first uint64) *segmentReader {
+	return &segmentReader{br: bufio.NewReaderSize(r, 1<<16), path: path, first: first}
+}
+
+// next decodes one frame. It returns errSegmentEnd at a clean end of the
+// segment and a *CorruptError for anything invalid: a truncated header or
+// body, an out-of-range length, or a checksum mismatch.
+func (sr *segmentReader) next() (Record, error) {
+	var hdr [frameHeader]byte
+	n, err := io.ReadFull(sr.br, hdr[:])
+	if n == 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		return Record{}, errSegmentEnd
+	}
+	if err != nil {
+		return Record{}, sr.corrupt("truncated frame header")
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:4])
+	if size < 1 || size > MaxRecord {
+		return Record{}, sr.corrupt(fmt.Sprintf("frame length %d out of range", size))
+	}
+	if cap(sr.body) < int(size) {
+		sr.body = make([]byte, size)
+	}
+	body := sr.body[:size]
+	if _, err := io.ReadFull(sr.br, body); err != nil {
+		return Record{}, sr.corrupt("truncated frame body")
+	}
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return Record{}, sr.corrupt("crc mismatch")
+	}
+	rec := Record{Seq: sr.first + sr.count, Kind: body[0], Payload: body[1:]}
+	sr.count++
+	sr.offset += frameSize(len(body) - 1)
+	return rec, nil
+}
+
+func (sr *segmentReader) corrupt(reason string) error {
+	return &CorruptError{Segment: sr.path, Offset: sr.offset, Reason: reason}
+}
+
+// Reader replays a WAL's records in sequence order across segments. Obtain
+// one with (*WAL).Replay. The Payload of each returned Record aliases an
+// internal buffer valid only until the next call to Next.
+type Reader struct {
+	dir  string
+	segs []segmentInfo
+	from uint64
+	idx  int
+	cur  *segmentReader
+	f    *os.File
+	err  error
+}
+
+func newReader(dir string, segs []segmentInfo, from uint64) *Reader {
+	return &Reader{dir: dir, segs: segs, from: from}
+}
+
+// Next returns the next record with sequence >= the replay start. It
+// returns io.EOF at the clean end of the log and a *CorruptError when a
+// frame is invalid; after any error the reader is exhausted.
+func (r *Reader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	for {
+		if r.cur == nil {
+			if r.idx >= len(r.segs) {
+				return r.fail(io.EOF)
+			}
+			seg := r.segs[r.idx]
+			// Skip whole segments below the replay start: the next
+			// segment's first seq bounds this one's range.
+			if r.idx+1 < len(r.segs) && r.segs[r.idx+1].first <= r.from {
+				r.idx++
+				continue
+			}
+			f, err := os.Open(filepath.Join(r.dir, seg.name))
+			if err != nil {
+				return r.fail(fmt.Errorf("wal: replay: %w", err))
+			}
+			r.f = f
+			r.cur = newSegmentReader(f, filepath.Join(r.dir, seg.name), seg.first)
+		}
+		rec, err := r.cur.next()
+		if err == errSegmentEnd {
+			next := r.cur.first + r.cur.count
+			r.closeCurrent()
+			r.idx++
+			if r.idx < len(r.segs) && r.segs[r.idx].first != next {
+				return r.fail(&CorruptError{
+					Segment: filepath.Join(r.dir, r.segs[r.idx].name),
+					Reason:  fmt.Sprintf("segment gap: expected first seq %d, file says %d", next, r.segs[r.idx].first),
+				})
+			}
+			continue
+		}
+		if err != nil {
+			return r.fail(err)
+		}
+		if rec.Seq < r.from {
+			continue
+		}
+		return rec, nil
+	}
+}
+
+func (r *Reader) fail(err error) (Record, error) {
+	r.closeCurrent()
+	r.err = err
+	return Record{}, err
+}
+
+func (r *Reader) closeCurrent() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	r.cur = nil
+}
+
+// Close releases the reader's open segment file; it is safe to call at any
+// point and after exhaustion.
+func (r *Reader) Close() error {
+	r.closeCurrent()
+	if r.err == nil {
+		r.err = ErrClosed
+	}
+	return nil
+}

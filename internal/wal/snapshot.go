@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot codec. A snapshot is the serialized state of one subsystem (or
+// the whole daemon) together with the WAL sequence it covers: every record
+// with seq <= that offset is already reflected in the snapshot, so recovery
+// loads the snapshot and replays only the tail. Files are written
+// atomically (temp + fsync + rename + dir fsync) and framed with a magic
+// header and a CRC32C, so a half-written or bit-flipped snapshot is
+// detected and skipped in favor of an older valid one.
+//
+// File name: <name>-<seq %016x>.snap in the WAL directory.
+
+const (
+	snapshotSuffix = ".snap"
+	snapshotMagic  = "WSNAP1\x00\x00" // 8 bytes: format name + version
+)
+
+// snapshotName formats the file name of name's snapshot covering seq.
+func snapshotName(name string, seq uint64) string {
+	return fmt.Sprintf("%s-%016x%s", name, seq, snapshotSuffix)
+}
+
+// parseSnapshotName inverts snapshotName for the given snapshot name.
+func parseSnapshotName(file, name string) (uint64, bool) {
+	prefix := name + "-"
+	if !strings.HasPrefix(file, prefix) || !strings.HasSuffix(file, snapshotSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(file, prefix), snapshotSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// validSnapshotName reports whether name is usable as a snapshot family
+// name (it becomes part of a file name and must not collide with the seq
+// suffix parsing).
+func validSnapshotName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WriteSnapshot atomically writes payload as the snapshot of the named
+// subsystem covering WAL sequence seq, then prunes older snapshots of the
+// same name (the latest two are kept, so one corrupt write never strands
+// recovery). Callers must Sync the WAL before recording seq as covered.
+func WriteSnapshot(dir, name string, seq uint64, payload []byte) error {
+	if !validSnapshotName(name) {
+		return fmt.Errorf("wal: invalid snapshot name %q", name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	final := filepath.Join(dir, snapshotName(name, seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	var hdr [12]byte
+	copy(hdr[:8], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return pruneSnapshots(dir, name, 2)
+}
+
+// snapshotSeqs lists the covered sequences of name's snapshots in dir,
+// ascending.
+func snapshotSeqs(dir, name string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSnapshotName(e.Name(), name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// pruneSnapshots removes all but the newest keep snapshots of name.
+func pruneSnapshots(dir, name string, keep int) error {
+	seqs, err := snapshotSeqs(dir, name)
+	if err != nil {
+		return err
+	}
+	for len(seqs) > keep {
+		if err := os.Remove(filepath.Join(dir, snapshotName(name, seqs[0]))); err != nil {
+			return fmt.Errorf("wal: snapshot prune: %w", err)
+		}
+		seqs = seqs[1:]
+	}
+	return nil
+}
+
+// LatestSnapshot returns the newest valid snapshot of the named subsystem
+// and the WAL sequence it covers. A snapshot with a bad magic or checksum
+// is skipped (recovery falls back to the previous one); ok is false when no
+// valid snapshot exists.
+func LatestSnapshot(dir, name string) (payload []byte, seq uint64, ok bool, err error) {
+	if !validSnapshotName(name) {
+		return nil, 0, false, fmt.Errorf("wal: invalid snapshot name %q", name)
+	}
+	seqs, err := snapshotSeqs(dir, name)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName(name, seqs[i])))
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("wal: snapshot: %w", err)
+		}
+		if len(data) < 12 || string(data[:8]) != snapshotMagic {
+			continue // half-written or foreign file
+		}
+		body := data[12:]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[8:12]) {
+			continue // bit-flipped; fall back to the previous snapshot
+		}
+		return body, seqs[i], true, nil
+	}
+	return nil, 0, false, nil
+}

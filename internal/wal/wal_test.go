@@ -1,0 +1,475 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect replays the whole log from seq 1 into owned copies.
+func collect(t *testing.T, w *WAL) []Record {
+	t.Helper()
+	r, err := w.Replay(1)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	defer r.Close()
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, Record{Seq: rec.Seq, Kind: rec.Kind, Payload: append([]byte(nil), rec.Payload...)})
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := make([]Record, 0, 100)
+	for i := 0; i < 100; i++ {
+		payload := []byte(fmt.Sprintf("record-%03d", i))
+		seq, err := w.Append(uint8(i%3+1), payload)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+		want = append(want, Record{Seq: seq, Kind: uint8(i%3 + 1), Payload: payload})
+	}
+	got := collect(t, w)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if w.LastSeq() != 100 {
+		t.Fatalf("LastSeq = %d", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestReplayFrom(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	for i := 1; i <= 50; i++ {
+		if _, err := w.Append(1, []byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := w.Sync(); err != nil { // force per-record flushes so rotation happens
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	if n := len(w.Segments()); n < 3 {
+		t.Fatalf("expected rotation across >= 3 segments, got %d", n)
+	}
+	r, err := w.Replay(33)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	defer r.Close()
+	for want := uint64(33); want <= 50; want++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if rec.Seq != want || string(rec.Payload) != fmt.Sprintf("r%02d", want) {
+			t.Fatalf("rec = %d %q, want %d", rec.Seq, rec.Payload, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("tail err = %v, want EOF", err)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append(1, []byte("first-open-record")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w, err = Open(dir, Options{Sync: SyncNone, SegmentBytes: 128})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w.Close()
+	if w.LastSeq() != 20 {
+		t.Fatalf("LastSeq after reopen = %d, want 20", w.LastSeq())
+	}
+	seq, err := w.Append(2, []byte("after-reopen"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if seq != 21 {
+		t.Fatalf("seq after reopen = %d, want 21", seq)
+	}
+	recs := collect(t, w)
+	if len(recs) != 21 || recs[20].Seq != 21 || string(recs[20].Payload) != "after-reopen" {
+		t.Fatalf("replay after reopen: got %d records, tail %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(1, []byte(fmt.Sprintf("intact-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-write: append half a frame to the segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	torn := appendFrame(nil, 1, []byte("this record is torn"))
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
+		t.Fatalf("write torn: %v", err)
+	}
+	f.Close()
+
+	w, err = Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer w.Close()
+	if w.Metrics().Truncated == 0 {
+		t.Fatal("expected torn bytes to be counted")
+	}
+	if w.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10 (torn record dropped)", w.LastSeq())
+	}
+	if _, err := w.Append(1, []byte("post-recovery")); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	recs := collect(t, w)
+	if len(recs) != 11 || string(recs[10].Payload) != "post-recovery" {
+		t.Fatalf("replay after torn-tail recovery: %d records", len(recs))
+	}
+}
+
+func TestReplaySurfacesMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(1, []byte("payload-payload-payload")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[len(data)/2] ^= 0x40 // bit-flip in the middle of the log
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatalf("write segment: %v", err)
+	}
+
+	r, err := w.Replay(1)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	defer r.Close()
+	var lastErr error
+	for {
+		_, err := r.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	var ce *CorruptError
+	if !errors.As(lastErr, &ce) {
+		t.Fatalf("mid-log bit flip surfaced as %v, want *CorruptError", lastErr)
+	}
+	if ce.Reason == "" || ce.Segment == "" {
+		t.Fatalf("CorruptError missing context: %+v", ce)
+	}
+	w.Close()
+}
+
+func TestCompactDropsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	for i := 1; i <= 60; i++ {
+		if _, err := w.Append(1, []byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	before := len(w.Segments())
+	if before < 4 {
+		t.Fatalf("expected >= 4 segments, got %d", before)
+	}
+	removed, err := w.Compact(41) // a snapshot covering seq 40
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("expected segments to be removed")
+	}
+	// Every record >= 41 must survive compaction.
+	r, err := w.Replay(41)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	defer r.Close()
+	want := uint64(41)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if rec.Seq != want {
+			t.Fatalf("seq = %d, want %d", rec.Seq, want)
+		}
+		want++
+	}
+	if want != 61 {
+		t.Fatalf("replayed through %d, want 61", want)
+	}
+	// The active segment is never removed even with an aggressive keep.
+	if _, err := w.Compact(1 << 60); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := len(w.Segments()); n != 1 {
+		t.Fatalf("segments after full compact = %d, want 1 (active)", n)
+	}
+}
+
+func TestGroupCommitSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncBatch, BatchInterval: time.Hour}) // flusher effectively off
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(1, []byte("buffered")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	m := w.Metrics()
+	if m.Syncs == 0 {
+		t.Fatal("Sync did not fsync")
+	}
+	if got := collect(t, w); len(got) != 5 {
+		t.Fatalf("replayed %d, want 5", len(got))
+	}
+}
+
+func TestClosedWALRefusesOps(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := w.Append(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close: %v", err)
+	}
+	if _, err := w.Replay(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Replay after close: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	if _, err := w.Append(1, make([]byte, MaxRecord)); err == nil {
+		t.Fatal("oversize append accepted")
+	}
+	if w.LastSeq() != 0 {
+		t.Fatalf("LastSeq = %d after rejected append", w.LastSeq())
+	}
+}
+
+func TestSnapshotRoundTripAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(10); seq <= 50; seq += 10 {
+		payload := []byte(fmt.Sprintf(`{"state":"at-%d"}`, seq))
+		if err := WriteSnapshot(dir, "modad", seq, payload); err != nil {
+			t.Fatalf("WriteSnapshot(%d): %v", seq, err)
+		}
+	}
+	payload, seq, ok, err := LatestSnapshot(dir, "modad")
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshot: %v ok=%v", err, ok)
+	}
+	if seq != 50 || string(payload) != `{"state":"at-50"}` {
+		t.Fatalf("latest = %d %q", seq, payload)
+	}
+	seqs, err := snapshotSeqs(dir, "modad")
+	if err != nil {
+		t.Fatalf("snapshotSeqs: %v", err)
+	}
+	if len(seqs) != 2 || seqs[0] != 40 || seqs[1] != 50 {
+		t.Fatalf("pruned set = %v, want [40 50]", seqs)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, "modad", 10, []byte("good-old")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := WriteSnapshot(dir, "modad", 20, []byte("bad-new")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	path := filepath.Join(dir, snapshotName("modad", 20))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	payload, seq, ok, err := LatestSnapshot(dir, "modad")
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshot: %v ok=%v", err, ok)
+	}
+	if seq != 10 || string(payload) != "good-old" {
+		t.Fatalf("fallback = %d %q, want 10 good-old", seq, payload)
+	}
+	// No valid snapshot at all: ok=false, no error.
+	if _, _, ok, err := LatestSnapshot(dir, "missing"); err != nil || ok {
+		t.Fatalf("missing family: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSnapshotNameValidation(t *testing.T) {
+	if err := WriteSnapshot(t.TempDir(), "No/Slash", 1, nil); err == nil {
+		t.Fatal("invalid snapshot name accepted")
+	}
+	if _, _, _, err := LatestSnapshot(t.TempDir(), "UPPER"); err == nil {
+		t.Fatal("invalid snapshot name accepted by LatestSnapshot")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"batch": SyncBatch, "always": SyncAlways, "none": SyncNone, "": SyncBatch} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if s != "" && got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSyncPolicy("yolo"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestConcurrentAppendersReplayCleanly(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncBatch, BatchInterval: time.Millisecond, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const goroutines, per = 8, 200
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			payload := []byte(fmt.Sprintf("writer-%d-payload", g))
+			for i := 0; i < per; i++ {
+				if _, err := w.Append(uint8(g+1), payload); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	recs := collect(t, w)
+	if len(recs) != goroutines*per {
+		t.Fatalf("replayed %d, want %d", len(recs), goroutines*per)
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at index %d", rec.Seq, i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
