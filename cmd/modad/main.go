@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -269,12 +270,22 @@ func run() error {
 
 		db.Journal(w)
 		kb.Journal(w)
+		var lastJournalErr atomic.Int64 // unix nanos of the last logged failure
 		b.Journal(func(env bus.Envelope) {
 			if !journaledTopic(env.Topic) {
 				return
 			}
-			if line, err := bus.Encode(env); err == nil {
-				w.Append(wal.KindBusEnvelope, line)
+			line, err := bus.Encode(env)
+			if err == nil {
+				_, err = w.Append(wal.KindBusEnvelope, line)
+			}
+			if err != nil {
+				// Rate-limited to 1/s: a broken audit trail must surface
+				// while the daemon runs, not via the sticky error at Close.
+				if now := time.Now().UnixNano(); now-lastJournalErr.Load() >= int64(time.Second) {
+					lastJournalErr.Store(now)
+					fmt.Fprintf(os.Stderr, "modad: bus journal %s: %v\n", env.Topic, err)
+				}
 			}
 		})
 	}

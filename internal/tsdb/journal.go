@@ -128,10 +128,12 @@ func (db *DB) journalLocked(p *telemetry.Point) error {
 }
 
 // ApplyWAL applies one wal.KindTSDBAppend record payload (one or more
-// encoded points). A point at or behind its series' tail is skipped rather
-// than rejected: snapshots are taken under live ingestion, so the WAL tail
-// being replayed may overlap records the snapshot already reflects, and per-
-// series log order equals apply order, which makes re-application a no-op.
+// encoded points). A point strictly behind its series' tail is skipped
+// rather than rejected, and one equal to the tail re-applies as an
+// idempotent overwrite: snapshots are taken under live ingestion, so the
+// WAL tail being replayed may overlap records the snapshot already
+// reflects, and per-series log order equals apply order, which makes
+// re-application a no-op.
 func (db *DB) ApplyWAL(payload []byte) error {
 	for len(payload) > 0 {
 		p, rest, err := decodePointEnc(payload)

@@ -552,18 +552,26 @@ func (w *WAL) Segments() []string {
 // The reader must be exhausted or abandoned before Compact runs; appends may
 // continue concurrently (the reader sees a prefix).
 func (w *WAL) Replay(from uint64) (*Reader, error) {
+	// syncMu first, mirroring Close: a group commit writes its detached
+	// buffer with mu released, so flushing under mu alone could interleave
+	// this flush with that in-flight write (or rotate the segment out from
+	// under it). With syncMu held no commit is mid-write.
+	w.syncMu.Lock()
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
+		w.syncMu.Unlock()
 		return nil, ErrClosed
 	}
 	if err := w.flushLocked(); err != nil {
 		w.mu.Unlock()
+		w.syncMu.Unlock()
 		return nil, err
 	}
 	segs := make([]segmentInfo, len(w.segments))
 	copy(segs, w.segments)
 	w.mu.Unlock()
+	w.syncMu.Unlock()
 	return newReader(w.dir, segs, from), nil
 }
 

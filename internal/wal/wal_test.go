@@ -435,6 +435,61 @@ func TestParseSyncPolicy(t *testing.T) {
 	}
 }
 
+// TestReplayConcurrentWithGroupCommit regression-tests the Replay/commit
+// lock order: Replay flushes buffered appends itself, and if that write were
+// allowed to interleave with a group commit's detached write (which runs
+// with mu released, holding only syncMu), frames would land in the segment
+// out of order — permanent corruption. Hammering Replay against a fast
+// flusher under live appends must leave the log replayable and gap-free.
+func TestReplayConcurrentWithGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNone, BatchInterval: time.Millisecond, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	stop := make(chan struct{})
+	appendErr := make(chan error, 1)
+	go func() {
+		payload := []byte("interleave-me-interleave-me")
+		for {
+			select {
+			case <-stop:
+				appendErr <- nil
+				return
+			default:
+			}
+			if _, err := w.Append(1, payload); err != nil {
+				appendErr <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		r, err := w.Replay(1)
+		if err != nil {
+			t.Fatalf("Replay %d: %v", i, err)
+		}
+		r.Close()
+	}
+	close(stop)
+	if err := <-appendErr; err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	n := w.LastSeq()
+	recs := collect(t, w)
+	if uint64(len(recs)) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at index %d", rec.Seq, i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
 func TestConcurrentAppendersReplayCleanly(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Open(dir, Options{Sync: SyncBatch, BatchInterval: time.Millisecond, SegmentBytes: 4096})
