@@ -32,3 +32,8 @@ go test -run='^$' -bench='^BenchmarkLifecycleCheck$' -benchtime=200000x -count="
 # latency on a shared CI box is too noisy to gate; run it locally.
 go test -run='^$' -bench='^BenchmarkWALAppend$/^sync=(none|batch)$' -benchtime=20000x -count="$count" ./internal/wal
 go test -run='^$' -bench='^BenchmarkRecovery$' -benchtime=2x -count="$count" ./internal/wal
+# HTTP gateway: one /v1/query through the full handler (auth, decode,
+# singleflight, zero-copy QueryVisit encode), and one bus publish fanned
+# out to 1000 connected SSE subscribers.
+go test -run='^$' -bench='^BenchmarkGatewayQuery$' -benchtime=500x -count="$count" ./internal/gateway
+go test -run='^$' -bench='^BenchmarkSSEFanout$/^clients=1000$' -benchtime=2000x -count="$count" ./internal/gateway

@@ -26,6 +26,7 @@ import (
 	"autoloop/internal/core"
 	"autoloop/internal/experiments"
 	"autoloop/internal/fleet"
+	"autoloop/internal/gateway"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/sim"
 	"autoloop/internal/wal"
@@ -126,6 +127,34 @@ func WriteSnapshot(dir, name string, seq uint64, payload []byte) error {
 func LatestSnapshot(dir, name string) (payload []byte, seq uint64, ok bool, err error) {
 	return wal.LatestSnapshot(dir, name)
 }
+
+// HTTP serving vocabulary (see internal/gateway): the /v1 query, control,
+// and SSE streaming surface served by cmd/modad -http.
+type (
+	// Gateway serves /v1/query, /v1/control/<op>, /v1/stream (SSE),
+	// /healthz, and /metrics over plain net/http.
+	Gateway = gateway.Gateway
+	// GatewayOptions wires the gateway to its subsystems and bearer tokens.
+	GatewayOptions = gateway.Options
+	// GatewayStats is a snapshot of the gateway's own counters.
+	GatewayStats = gateway.Stats
+	// StreamHub fans bus envelopes out to SSE subscribers with bounded
+	// per-client outboxes.
+	StreamHub = gateway.Hub
+	// Role is an authenticated HTTP caller's capability level.
+	Role = gateway.Role
+)
+
+// HTTP gateway roles.
+const (
+	RoleNone     = gateway.RoleNone
+	RoleRead     = gateway.RoleRead
+	RoleOperator = gateway.RoleOperator
+)
+
+// NewGateway builds an HTTP gateway over the given subsystems; serve it
+// with Gateway.Serve or mount Gateway.Handler on an existing server.
+func NewGateway(opts GatewayOptions) *Gateway { return gateway.New(opts) }
 
 // Operating modes (§IV).
 const (

@@ -12,6 +12,13 @@
 //
 //	modad -addr 127.0.0.1:7675 -speed 60 -duration 2m [-specs file.json]
 //	      [-wal-dir dir] [-fsync batch|always|none] [-snapshot-every 10m]
+//	      [-http 127.0.0.1:7676] [-http-read-token t1,t2] [-http-op-token t3]
+//
+// With -http the same query and control vocabulary is also served over
+// HTTP: POST/GET /v1/query, POST /v1/control/<op>, live server-sent events
+// on GET /v1/stream, and Prometheus-style counters on /metrics. Bearer
+// tokens split read-only from operator access; with no tokens the gateway
+// is open, like the TCP bridge.
 //
 // speed compresses virtual time: 60 means one wall second carries one
 // virtual minute. The fleet is built through the control registry from JSON
@@ -49,6 +56,7 @@ import (
 	"autoloop/internal/control"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/gateway"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -97,6 +105,9 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7675", "TCP address to serve envelopes on")
+	httpAddr := flag.String("http", "", "HTTP gateway address (empty = no HTTP; e.g. 127.0.0.1:7676)")
+	httpReadTok := flag.String("http-read-token", "", "comma-separated read-only bearer tokens for the HTTP gateway")
+	httpOpTok := flag.String("http-op-token", "", "comma-separated operator bearer tokens for the HTTP gateway (no tokens at all = open access)")
 	speed := flag.Int("speed", 60, "virtual seconds per wall second")
 	duration := flag.Duration("duration", 2*time.Minute, "wall-clock run time (0 = forever)")
 	specsPath := flag.String("specs", "", "JSON loop-spec file replacing the built-in fleet")
@@ -306,9 +317,22 @@ func run() error {
 	pipe.Drive(ctl, 2)
 
 	// Every takes an absolute start time: offset by Now so the schedule
-	// works from a recovered clock as well as from zero.
+	// works from a recovered clock as well as from zero. Sink errors are
+	// checked after each round — a TSDB that rejects points (clock skew,
+	// invalid values) must surface while the daemon runs, not be swallowed
+	// into the pipeline's sticky error.
+	var lastIngestLog atomic.Int64 // unix nanos of the last logged failure
+	var seenIngestErrs uint64
 	engine.Every(engine.Now()+30*time.Second, 30*time.Second, func() bool {
 		pipe.Sample(engine.Now())
+		if _, _, errs := pipe.Stats(); errs > seenIngestErrs {
+			seenIngestErrs = errs
+			if now := time.Now().UnixNano(); now-lastIngestLog.Load() >= int64(time.Second) {
+				lastIngestLog.Store(now)
+				fmt.Fprintf(os.Stderr, "modad: telemetry ingest: %d points rejected so far (latest: %v)\n",
+					errs, pipe.Err())
+			}
+		}
 		return true
 	})
 
@@ -379,6 +403,22 @@ func run() error {
 	fmt.Printf("modad: serving telemetry, loop, fleet, and control.v1 envelopes on %s (speed %dx, %d loops)\n",
 		srv.Addr(), *speed, coord.Len())
 
+	// The HTTP gateway serves the same query and control vocabulary over
+	// /v1, plus SSE subscriptions and Prometheus-style self-telemetry.
+	if *httpAddr != "" {
+		gw := gateway.New(gateway.Options{
+			Store: db, Control: ctl, Bus: b,
+			Pipeline: pipe, WAL: w, WireServer: srv,
+			ReadTokens:     splitTokens(*httpReadTok),
+			OperatorTokens: splitTokens(*httpOpTok),
+		})
+		if err := gw.Serve(*httpAddr); err != nil {
+			return err
+		}
+		defer gw.Close()
+		fmt.Printf("modad: http gateway on http://%s (/v1/query, /v1/control/<op>, /v1/stream, /metrics)\n", gw.Addr())
+	}
+
 	// Drive the simulation against the wall clock; SIGINT/SIGTERM begins a
 	// graceful shutdown.
 	sigs := make(chan os.Signal, 1)
@@ -428,7 +468,19 @@ loop:
 			m.Appends, m.Bytes, m.Syncs, m.Rotations)
 	}
 	cm := coord.Metrics()
-	fmt.Printf("modad: done; %d series, %d samples stored; fleet ran %d rounds (%d actions, %d arbitrated)\n",
-		db.NumSeries(), db.Appended(), cm.Rounds, cm.Planned, cm.Arbitrated)
+	_, _, sinkErrs := pipe.Stats()
+	fmt.Printf("modad: done; %d series, %d samples stored (%d ingest errors); fleet ran %d rounds (%d actions, %d arbitrated)\n",
+		db.NumSeries(), db.Appended(), sinkErrs, cm.Rounds, cm.Planned, cm.Arbitrated)
 	return nil
+}
+
+// splitTokens parses a comma-separated token list, dropping empties.
+func splitTokens(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }

@@ -223,6 +223,13 @@ func matches(pattern, topic string) bool {
 	return pattern == topic
 }
 
+// MatchTopic reports whether topic matches pattern under the bus's
+// subscription semantics: an exact topic, or a prefix pattern ending in
+// "*" ("loop.*" matches "loop.sched.plan"). It is exported for layers that
+// reuse the bus's topic vocabulary outside a subscription — e.g. the HTTP
+// gateway's SSE replay filter.
+func MatchTopic(pattern, topic string) bool { return matches(pattern, topic) }
+
 // collectLocked gathers the handlers matching topic in subscription-id order.
 // Callers must hold at least the read lock; the returned slice is freshly
 // allocated and safe to use after the lock is released.

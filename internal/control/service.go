@@ -356,26 +356,33 @@ func (s *Service) handleVerdict(env bus.Envelope, approve bool) {
 	if err := bus.DecodePayload(env, &v); err != nil {
 		return
 	}
+	s.reply(s.Verdict(approve, v))
+}
+
+// Verdict queues one operator approve/deny verdict and returns the ack
+// reply (outcome "queued"; the final fate is published on TopicResolved
+// when the next round applies it). It is the programmatic form of an
+// approve/deny envelope, exported so in-process embedders — notably the
+// HTTP gateway — can settle pending actions without a bus.
+func (s *Service) Verdict(approve bool, v Verdict) Reply {
 	op := OpDeny
 	if approve {
 		op = OpApprove
 	}
 	e := s.lookupPending(v.Seq)
 	if e == nil {
-		s.reply(Reply{ID: v.ID, Op: op, OK: false, Error: fmt.Sprintf("no pending action %d", v.Seq)})
-		return
+		return Reply{ID: v.ID, Op: op, OK: false, Error: fmt.Sprintf("no pending action %d", v.Seq)}
 	}
 	if v.Loop != "" && v.Loop != e.d.Loop.Name {
-		s.reply(Reply{ID: v.ID, Op: op, OK: false, Error: fmt.Sprintf(
-			"pending action %d belongs to loop %q, not %q", v.Seq, e.d.Loop.Name, v.Loop)})
-		return
+		return Reply{ID: v.ID, Op: op, OK: false, Error: fmt.Sprintf(
+			"pending action %d belongs to loop %q, not %q", v.Seq, e.d.Loop.Name, v.Loop)}
 	}
 	s.qmu.Lock()
 	s.verdicts = append(s.verdicts, queuedVerdict{seq: v.Seq, approve: approve, reason: v.Reason})
 	s.qmu.Unlock()
-	s.reply(Reply{ID: v.ID, Op: op, OK: true, Resolution: &Resolution{
+	return Reply{ID: v.ID, Op: op, OK: true, Resolution: &Resolution{
 		Seq: v.Seq, Loop: e.d.Loop.Name, Outcome: OutcomeQueued,
-	}})
+	}}
 }
 
 // OpApprove and OpDeny name the verdict pseudo-ops used in acks.

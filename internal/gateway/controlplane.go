@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"autoloop/internal/control"
+)
+
+// controlOps maps each /v1/control/<op> path element to the minimum role it
+// needs. The read-only half mirrors what a dashboard polls; everything that
+// mutates the fleet or settles an approval needs the operator role.
+var controlOps = map[string]Role{
+	control.OpList:     RoleRead,
+	control.OpGet:      RoleRead,
+	control.OpCases:    RoleRead,
+	control.OpPending:  RoleRead,
+	control.OpSpawn:    RoleOperator,
+	control.OpPause:    RoleOperator,
+	control.OpResume:   RoleOperator,
+	control.OpDrain:    RoleOperator,
+	control.OpRemove:   RoleOperator,
+	control.OpSetMode:  RoleOperator,
+	control.OpSetGuard: RoleOperator,
+	control.OpApprove:  RoleOperator,
+	control.OpDeny:     RoleOperator,
+}
+
+// handleControl serves POST /v1/control/<op>: the body is a control.Request
+// (without op — the path names it) for the regular ops, or a
+// control.Verdict for approve/deny. The reply is the control.Reply the bus
+// surface would publish, with status 200 when OK and 400 otherwise, so HTTP
+// and TCP operators read one vocabulary.
+func (g *Gateway) handleControl(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	op := strings.TrimPrefix(r.URL.Path, "/v1/control/")
+	need, known := controlOps[op]
+	if !known {
+		g.httpError(w, http.StatusNotFound, "unknown control op %q", op)
+		return
+	}
+	if r.Method != http.MethodPost {
+		g.httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if !g.require(w, r, need) {
+		return
+	}
+	ctl := g.opts.Control
+	if ctl == nil {
+		g.httpError(w, http.StatusServiceUnavailable, "control plane not served")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		g.httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+
+	var rep control.Reply
+	switch op {
+	case control.OpApprove, control.OpDeny:
+		var v control.Verdict
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &v); err != nil {
+				g.httpError(w, http.StatusBadRequest, "decode verdict: %v", err)
+				return
+			}
+		}
+		rep = ctl.Verdict(op == control.OpApprove, v)
+	default:
+		var req control.Request
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				g.httpError(w, http.StatusBadRequest, "decode request: %v", err)
+				return
+			}
+		}
+		req.Op = op // the path is authoritative
+		rep = ctl.Handle(req)
+	}
+	status := http.StatusOK
+	if !rep.OK {
+		status = http.StatusBadRequest
+	}
+	g.writeJSON(w, status, rep)
+}

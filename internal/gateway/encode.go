@@ -1,0 +1,161 @@
+package gateway
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"autoloop/internal/telemetry"
+)
+
+// encoder builds one /v1/query response body directly in a reusable byte
+// buffer. The range hot path appends samples from inside the store's
+// QueryVisit callback, so the response is encoded straight off the live
+// shard windows — no intermediate []WireSeries (or any per-series copy) is
+// materialized. The JSON shape matches tsdb.QueryResponse exactly, so bus
+// and HTTP clients parse one vocabulary.
+//
+// Encoders are pooled; with warm buffers an encode performs no allocations
+// (gated by TestGatewayEncodeAllocs).
+type encoder struct {
+	buf    []byte
+	keys   []string          // label-key sort scratch
+	pts    []telemetry.Point // LatestInto scratch
+	series int               // series emitted so far
+
+	// metric and visitor serve the QueryVisit hot path: the visitor closure
+	// is built once per pooled encoder (not per request), so a warm encode
+	// allocates nothing at all.
+	metric  string
+	visitor telemetry.SeriesVisitor
+}
+
+var encoderPool = sync.Pool{New: func() interface{} {
+	e := new(encoder)
+	e.visitor = func(labels telemetry.Labels, samples []telemetry.Sample) {
+		e.beginSeries(e.metric, labels)
+		for i, s := range samples {
+			e.sample(i, s.Time, s.Value)
+		}
+		e.endSeries()
+	}
+	return e
+}}
+
+func getEncoder() *encoder {
+	e := encoderPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	e.series = 0
+	return e
+}
+
+// release drops references that could pin store memory and pools e.
+func (e *encoder) release() {
+	for i := range e.pts {
+		e.pts[i] = telemetry.Point{}
+	}
+	e.pts = e.pts[:0]
+	e.keys = e.keys[:0]
+	encoderPool.Put(e)
+}
+
+func (e *encoder) begin(id string) {
+	e.buf = append(e.buf, '{')
+	if id != "" {
+		e.buf = append(e.buf, `"id":`...)
+		e.appendString(id)
+		e.buf = append(e.buf, ',')
+	}
+	e.buf = append(e.buf, `"series":[`...)
+}
+
+func (e *encoder) end() {
+	e.buf = append(e.buf, ']', '}', '\n')
+}
+
+// beginSeries opens one series object. labels may alias store memory; keys
+// are copied into the scratch only for sorting, never retained.
+func (e *encoder) beginSeries(metric string, labels telemetry.Labels) {
+	if e.series > 0 {
+		e.buf = append(e.buf, ',')
+	}
+	e.series++
+	e.buf = append(e.buf, `{"metric":`...)
+	e.appendString(metric)
+	if len(labels) > 0 {
+		e.buf = append(e.buf, `,"labels":{`...)
+		e.keys = e.keys[:0]
+		for k := range labels {
+			e.keys = append(e.keys, k)
+		}
+		// Insertion sort: label sets are tiny and the scratch is reused, so
+		// this stays allocation-free (sort.Strings would not allocate either,
+		// but the interface conversion in sort.Sort escapes).
+		for i := 1; i < len(e.keys); i++ {
+			k := e.keys[i]
+			j := i - 1
+			for j >= 0 && e.keys[j] > k {
+				e.keys[j+1] = e.keys[j]
+				j--
+			}
+			e.keys[j+1] = k
+		}
+		for i, k := range e.keys {
+			if i > 0 {
+				e.buf = append(e.buf, ',')
+			}
+			e.appendString(k)
+			e.buf = append(e.buf, ':')
+			e.appendString(labels[k])
+		}
+		e.buf = append(e.buf, '}')
+	}
+	e.buf = append(e.buf, `,"samples":[`...)
+}
+
+func (e *encoder) sample(i int, t time.Duration, v float64) {
+	if i > 0 {
+		e.buf = append(e.buf, ',')
+	}
+	e.buf = append(e.buf, `{"t_ms":`...)
+	e.buf = strconv.AppendInt(e.buf, int64(t/time.Millisecond), 10)
+	e.buf = append(e.buf, `,"v":`...)
+	e.appendFloat(v)
+	e.buf = append(e.buf, '}')
+}
+
+func (e *encoder) endSeries() {
+	e.buf = append(e.buf, ']', '}')
+}
+
+// appendFloat writes v as a JSON number; non-finite values (not
+// representable in JSON) become null, matching encoding/json's strictness
+// without failing the whole response.
+func (e *encoder) appendFloat(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		e.buf = append(e.buf, `null`...)
+		return
+	}
+	e.buf = strconv.AppendFloat(e.buf, v, 'g', -1, 64)
+}
+
+// appendString writes s as a JSON string. Metric names and labels are plain
+// ASCII identifiers in practice, so the fast path just scans; anything
+// needing escapes falls back to encoding/json.
+func (e *encoder) appendString(s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			esc, err := json.Marshal(s)
+			if err != nil { // unreachable for strings
+				esc = []byte(`""`)
+			}
+			e.buf = append(e.buf, esc...)
+			return
+		}
+	}
+	e.buf = append(e.buf, '"')
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, '"')
+}

@@ -1,0 +1,172 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+// handleQuery answers the query plane. POST carries a tsdb.QueryRequest
+// JSON body (the exact vocabulary of the "tsdb.query" bus topic, decoded
+// through the same tsdb.DecodeRequestJSON path); GET maps query parameters
+// onto the same fields (metric, from_ms, to_ms, step_ms, agg, latest, and
+// match.<key>=<value> label matchers) for curl-ability.
+//
+// The response body is a tsdb.QueryResponse-shaped JSON object. Unlike the
+// bus service, the request's id is not echoed: HTTP responses correlate by
+// the exchange itself, and identical concurrent queries share one encoded
+// body through the singleflight layer.
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req tsdb.QueryRequest
+	var err error
+	switch r.Method {
+	case http.MethodPost:
+		var body []byte
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err == nil {
+			req, err = tsdb.DecodeRequestJSON(body)
+		}
+	case http.MethodGet:
+		req, err = queryFromParams(r.URL.Query())
+	default:
+		g.httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if err != nil {
+		g.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Metric == "" {
+		g.httpError(w, http.StatusBadRequest, "missing metric")
+		return
+	}
+	if req.StepMS > 0 && !req.Latest {
+		if _, ok := tsdb.ParseAgg(req.Agg); !ok {
+			g.httpError(w, http.StatusBadRequest, "unknown agg %q", req.Agg)
+			return
+		}
+	}
+
+	c, shared := g.flight.do(queryKey(&req), func() (*encoder, error) { return g.encodeQuery(&req) })
+	if shared {
+		g.coalesced.Add(1)
+	}
+	defer c.release()
+	if c.err != nil {
+		g.httpError(w, http.StatusBadRequest, "%v", c.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(c.enc.buf)
+}
+
+// queryKey canonicalizes a request for coalescing: everything that affects
+// the result, nothing that does not (the id).
+func queryKey(req *tsdb.QueryRequest) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(req.Metric)
+	b.WriteByte(0)
+	b.WriteString(req.Match.Key())
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatInt(req.FromMS, 10))
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatInt(req.ToMS, 10))
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatInt(req.StepMS, 10))
+	b.WriteByte(0)
+	b.WriteString(req.Agg)
+	if req.Latest {
+		b.WriteString("\x00latest")
+	}
+	return b.String()
+}
+
+// queryFromParams maps GET parameters onto the wire request.
+func queryFromParams(q url.Values) (tsdb.QueryRequest, error) {
+	req := tsdb.QueryRequest{Metric: q.Get("metric"), Agg: q.Get("agg")}
+	for _, f := range []struct {
+		name string
+		dst  *int64
+	}{
+		{"from_ms", &req.FromMS},
+		{"to_ms", &req.ToMS},
+		{"step_ms", &req.StepMS},
+	} {
+		if s := q.Get(f.name); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return req, fmt.Errorf("gateway: bad %s %q", f.name, s)
+			}
+			*f.dst = v
+		}
+	}
+	if s := q.Get("latest"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return req, fmt.Errorf("gateway: bad latest %q", s)
+		}
+		req.Latest = v
+	}
+	for key, vals := range q {
+		if label, ok := strings.CutPrefix(key, "match."); ok && label != "" && len(vals) > 0 {
+			if req.Match == nil {
+				req.Match = telemetry.Labels{}
+			}
+			req.Match[label] = vals[0]
+		}
+	}
+	return req, nil
+}
+
+// encodeQuery runs one query against the store, encoding the response into
+// a pooled buffer. The range path streams through QueryVisit — samples are
+// appended to the body from inside the visit callback, so no intermediate
+// series slices exist. Latest uses the fill-buffer LatestInto; rollups use
+// the materializing QueryRollup (rollup windows are coarse and small).
+func (g *Gateway) encodeQuery(req *tsdb.QueryRequest) (*encoder, error) {
+	from := time.Duration(req.FromMS) * time.Millisecond
+	to := time.Duration(req.ToMS) * time.Millisecond
+	e := getEncoder()
+	e.begin("")
+	switch {
+	case req.Latest:
+		e.pts = g.opts.Store.LatestInto(e.pts[:0], req.Metric, req.Match)
+		for _, p := range e.pts {
+			e.beginSeries(p.Name, p.Labels)
+			e.sample(0, p.Time, p.Value)
+			e.endSeries()
+		}
+	case req.StepMS > 0:
+		agg, ok := tsdb.ParseAgg(req.Agg)
+		if !ok {
+			e.release()
+			return nil, fmt.Errorf("unknown agg %q", req.Agg)
+		}
+		step := time.Duration(req.StepMS) * time.Millisecond
+		ss, ok := g.opts.Store.QueryRollup(req.Metric, req.Match, step, agg, from, to)
+		if !ok {
+			e.release()
+			return nil, fmt.Errorf("no rollup %s/%v/%s registered", req.Metric, step, req.Agg)
+		}
+		for _, s := range ss {
+			e.beginSeries(s.Name, s.Labels)
+			for i, smp := range s.Samples {
+				e.sample(i, smp.Time, smp.Value)
+			}
+			e.endSeries()
+		}
+	default:
+		e.metric = req.Metric
+		g.opts.Store.QueryVisit(req.Metric, req.Match, from, to, e.visitor)
+	}
+	e.end()
+	return e, nil
+}

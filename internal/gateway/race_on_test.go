@@ -1,0 +1,7 @@
+//go:build race
+
+package gateway
+
+// raceEnabled skips the steady-state allocation gates under the race
+// detector, whose instrumentation itself allocates.
+const raceEnabled = true

@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces identical in-flight /v1/query requests: the first
+// caller for a key runs the store visit and encode, every concurrent caller
+// with the same key waits and shares the encoded body. The encoder is
+// refcounted across the sharers and returned to the pool by whichever
+// releases last, so sharing never copies the body.
+//
+// The dedup window is the in-flight duration only — once the leader
+// finishes, the key is forgotten; this is request coalescing, not a cache,
+// so results are never stale beyond one store visit.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight (or just-completed) encode shared by its
+// waiters.
+type flightCall struct {
+	done chan struct{}
+	enc  *encoder
+	err  error
+	refs atomic.Int32
+}
+
+// release returns the shared encoder to the pool once the last sharer is
+// done writing it out.
+func (c *flightCall) release() {
+	if c.refs.Add(-1) == 0 && c.enc != nil {
+		c.enc.release()
+		c.enc = nil
+	}
+}
+
+// do returns the call for key, running fn exactly once per coalescing
+// window. shared reports whether this caller joined an existing flight.
+// The caller must call release() on the returned call when done with
+// call.enc.buf.
+func (g *flightGroup) do(key string, fn func() (*encoder, error)) (c *flightCall, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.refs.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c, true
+	}
+	c = &flightCall{done: make(chan struct{})}
+	c.refs.Store(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.enc, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c, false
+}

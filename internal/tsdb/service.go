@@ -76,7 +76,16 @@ func (s *Service) Attach(b *bus.Bus, source string) *Service {
 	}
 	s.source = source
 	s.cancel = b.Subscribe(QueryTopic, func(env bus.Envelope) {
-		resp := s.Answer(decodeRequest(env.Payload))
+		var resp QueryResponse
+		req, err := DecodeRequest(env.Payload)
+		if err != nil {
+			// An unreadable request must say so — answering "missing
+			// metric" for a malformed payload sends the client debugging
+			// the wrong field.
+			resp = QueryResponse{ID: req.ID, Err: err.Error()}
+		} else {
+			resp = s.Answer(req)
+		}
 		b.Publish(bus.Envelope{Topic: ResultTopic, Time: env.Time, Source: s.source, Payload: resp})
 	})
 	return s
@@ -90,23 +99,34 @@ func (s *Service) Close() {
 	}
 }
 
-// decodeRequest tolerates both in-process payloads (a QueryRequest value)
+// DecodeRequest tolerates both in-process payloads (a QueryRequest value)
 // and wire payloads (the JSON-decoded map a TCP client's line arrives as) by
-// round-tripping unknown shapes through JSON.
-func decodeRequest(payload interface{}) QueryRequest {
+// round-tripping unknown shapes through JSON. A malformed payload returns a
+// decode error instead of a zero request, so callers can distinguish "the
+// request was unreadable" from "the request was missing a field".
+func DecodeRequest(payload interface{}) (QueryRequest, error) {
 	switch v := payload.(type) {
 	case QueryRequest:
-		return v
+		return v, nil
 	case *QueryRequest:
-		return *v
+		return *v, nil
 	default:
-		var req QueryRequest
 		data, err := json.Marshal(payload)
-		if err == nil {
-			_ = json.Unmarshal(data, &req)
+		if err != nil {
+			return QueryRequest{}, fmt.Errorf("tsdb: decode query request: %w", err)
 		}
-		return req
+		return DecodeRequestJSON(data)
 	}
+}
+
+// DecodeRequestJSON decodes one JSON-encoded QueryRequest — the wire decode
+// path shared by the bus service and the HTTP gateway's /v1/query.
+func DecodeRequestJSON(data []byte) (QueryRequest, error) {
+	var req QueryRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return QueryRequest{}, fmt.Errorf("tsdb: decode query request: %w", err)
+	}
+	return req, nil
 }
 
 // Answer executes one request against the DB.

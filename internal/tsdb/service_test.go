@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -107,5 +108,41 @@ func TestServiceWireDecode(t *testing.T) {
 	resp := (*got)[0]
 	if resp.ID != "w1" || len(resp.Series) != 1 || resp.Series[0].Labels["node"] != "n2" {
 		t.Fatalf("wire resp = %+v", resp)
+	}
+}
+
+// TestServiceMalformedWirePayload: an unreadable payload must answer with a
+// decode error, not the misleading "missing metric".
+func TestServiceMalformedWirePayload(t *testing.T) {
+	_, b, got := serviceFixture(t)
+	line := []byte(`{"topic":"tsdb.query","time":1000000000,"payload":{"metric":123,"latest":"yes"}}` + "\n")
+	env, err := bus.Decode(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(env)
+	if len(*got) != 1 {
+		t.Fatalf("got %d responses", len(*got))
+	}
+	resp := (*got)[0]
+	if resp.Err == "" || !strings.Contains(resp.Err, "decode query request") {
+		t.Fatalf("Err = %q, want a decode error", resp.Err)
+	}
+	if strings.Contains(resp.Err, "missing metric") {
+		t.Fatalf("Err = %q still reports the misleading missing-metric text", resp.Err)
+	}
+}
+
+// TestDecodeRequestPassthrough pins the in-process fast paths.
+func TestDecodeRequestPassthrough(t *testing.T) {
+	want := QueryRequest{ID: "x", Metric: "cpu"}
+	if got, err := DecodeRequest(want); err != nil || got.ID != "x" || got.Metric != "cpu" {
+		t.Fatalf("value passthrough = %+v, %v", got, err)
+	}
+	if got, err := DecodeRequest(&want); err != nil || got.ID != "x" || got.Metric != "cpu" {
+		t.Fatalf("pointer passthrough = %+v, %v", got, err)
+	}
+	if _, err := DecodeRequestJSON([]byte(`{"metric":`)); err == nil {
+		t.Fatal("truncated JSON decoded without error")
 	}
 }
