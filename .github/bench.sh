@@ -8,32 +8,55 @@ set -euo pipefail
 dir="${1:-.}"
 count="${BENCH_COUNT:-6}"
 cd "$dir"
-go test -run='^$' -bench='^BenchmarkBusDispatch$' -benchtime=1000x -count="$count" ./internal/bus
-go test -run='^$' -bench='^BenchmarkTelemetryIngest$' -benchtime=100x -count="$count" ./internal/tsdb
-go test -run='^$' -bench='^BenchmarkQueryMatcher$' -benchtime=50x -count="$count" ./internal/tsdb
-go test -run='^$' -bench='^BenchmarkShardedAppend$' -benchtime=100000x -count="$count" ./internal/tsdb
-go test -run='^$' -bench='^BenchmarkWindowQuery$' -benchtime=2000x -count="$count" ./internal/tsdb
+
+# run <bench-regex> <benchtime> <package>: one gated benchmark invocation.
+# A pattern that matches nothing fails loudly here — a silently-skipped
+# benchmark would make the regression gate vacuously green after a rename.
+run() {
+  local pattern="$1" benchtime="$2" pkg="$3" out
+  out="$(go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -count="$count" "$pkg")"
+  printf '%s\n' "$out"
+  if ! printf '%s\n' "$out" | grep -q '^Benchmark'; then
+    echo "bench.sh: -bench pattern '$pattern' matched no benchmarks in $pkg" >&2
+    exit 1
+  fi
+}
+
+run '^BenchmarkBusDispatch$' 1000x ./internal/bus
+run '^BenchmarkTelemetryIngest$' 100x ./internal/tsdb
+run '^BenchmarkQueryMatcher$' 50x ./internal/tsdb
+run '^BenchmarkShardedAppend$' 100000x ./internal/tsdb
+run '^BenchmarkWindowQuery$' 2000x ./internal/tsdb
 # Detector stepping is every loop's per-tick inner loop. Only the streaming
 # rows run here (benchgate gates every shared benchmark name, so the noisy
 # O(W log W) naive baselines are kept out of CI); run the full
 # BenchmarkDetectorStep locally for the incremental-vs-naive comparison.
-go test -run='^$' -bench='^BenchmarkDetectorStep$/.*/.*/^(incremental|quickselect)$' -benchtime=5000x -count="$count" ./internal/analytics
+run '^BenchmarkDetectorStep$/.*/.*/^(incremental|quickselect)$' 5000x ./internal/analytics
 # Only the 1000-loop shape: the small sub-benchmarks are too short to gate
 # on a shared CI box without false positives.
-go test -run='^$' -bench='^BenchmarkFleetTick$/^loops=1000$' -benchtime=5x -count="$count" ./internal/fleet
+run '^BenchmarkFleetTick$/^loops=1000$' 5x ./internal/fleet
 # Control plane: one control.v1 request/reply round trip through the bus,
 # and the lifecycle-state fast paths every tick pays (both must stay at
 # 0 allocs/op — TestLifecycleFastPathAllocs gates that exactly).
-go test -run='^$' -bench='^BenchmarkControlDispatch$' -benchtime=2000x -count="$count" ./internal/control
-go test -run='^$' -bench='^BenchmarkLifecycleCheck$' -benchtime=200000x -count="$count" ./internal/core
+run '^BenchmarkControlDispatch$' 2000x ./internal/control
+run '^BenchmarkLifecycleCheck$' 200000x ./internal/core
 # Durability hot paths: the journal append under group-commit batching and
 # with fsync disabled (TestWALAppendAllocs gates 0 allocs/record exactly),
 # plus full log replay throughput. sync=always is excluded — raw fsync
 # latency on a shared CI box is too noisy to gate; run it locally.
-go test -run='^$' -bench='^BenchmarkWALAppend$/^sync=(none|batch)$' -benchtime=20000x -count="$count" ./internal/wal
-go test -run='^$' -bench='^BenchmarkRecovery$' -benchtime=2x -count="$count" ./internal/wal
+run '^BenchmarkWALAppend$/^sync=(none|batch)$' 20000x ./internal/wal
+run '^BenchmarkRecovery$' 2x ./internal/wal
 # HTTP gateway: one /v1/query through the full handler (auth, decode,
 # singleflight, zero-copy QueryVisit encode), and one bus publish fanned
 # out to 1000 connected SSE subscribers.
-go test -run='^$' -bench='^BenchmarkGatewayQuery$' -benchtime=500x -count="$count" ./internal/gateway
-go test -run='^$' -bench='^BenchmarkSSEFanout$/^clients=1000$' -benchtime=2000x -count="$count" ./internal/gateway
+run '^BenchmarkGatewayQuery$' 500x ./internal/gateway
+run '^BenchmarkSSEFanout$/^clients=1000$' 2000x ./internal/gateway
+# Cluster plane: the consistent-hash placement lookup, one cross-node
+# arbitration digest, a full in-process scatter-gather, and the same gather
+# over real loopback TCP bridges (the per-request cost of a multi-node
+# list/query). RingMembership is excluded — a full point resort per op is
+# rare (joins/failovers only) and too coarse to gate.
+run '^BenchmarkRingOwner$' 100000x ./internal/cluster
+run '^BenchmarkArbiterDecide$' 20000x ./internal/cluster
+run '^BenchmarkScatterGather$/^workers=4$' 500x ./internal/cluster
+run '^BenchmarkClusterFanoutTCP$' 200x ./internal/cluster

@@ -14,6 +14,18 @@
 //	      [-wal-dir dir] [-fsync batch|always|none] [-snapshot-every 10m]
 //	      [-http 127.0.0.1:7676] [-http-read-token t1,t2] [-http-op-token t3]
 //
+// Multi-node mode splits the same daemon across processes:
+//
+//	modad -role=coordinator -addr :7675 -cluster-addr :7677 [-wal-dir dir]
+//	modad -role=worker -join 127.0.0.1:7677 -node w1
+//
+// The coordinator places loop specs across the joined workers by consistent
+// hashing, tracks worker leases (failing loops over on expiry), arbitrates
+// contradicting actions across nodes, and answers operator list/query
+// requests by scatter-gathering the workers — the operator surface (TCP and
+// HTTP alike) is identical to a single process. Workers run the simulation
+// and loop stack, but spawn only what the coordinator assigns.
+//
 // With -http the same query and control vocabulary is also served over
 // HTTP: POST/GET /v1/query, POST /v1/control/<op>, live server-sent events
 // on GET /v1/stream, and Prometheus-style counters on /metrics. Bearer
@@ -57,6 +69,7 @@ import (
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
 	"autoloop/internal/gateway"
+	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -114,7 +127,36 @@ func run() error {
 	walDir := flag.String("wal-dir", "", "write-ahead-log directory (empty = no durability)")
 	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch, always, or none")
 	snapEvery := flag.Duration("snapshot-every", 10*time.Minute, "virtual time between snapshots")
+	role := flag.String("role", "single", "process role: single (everything in one binary), coordinator, or worker")
+	join := flag.String("join", "", "worker: coordinator cluster address to join (required with -role=worker)")
+	clusterAddr := flag.String("cluster-addr", "127.0.0.1:7677", "coordinator: TCP address workers join")
+	node := flag.String("node", "", "worker: unique node name (default <hostname>-<pid>)")
+	leaseTTL := flag.Duration("lease", cluster.DefaultLeaseTTL, "coordinator: worker lease TTL before failover")
+	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeat, "worker: lease-renewal period")
+	arbWindow := flag.Duration("arb-window", cluster.DefaultArbWindow, "coordinator: cross-node arbitration grant window")
 	flag.Parse()
+
+	// Coordinator and worker roles branch off here; the single-process path
+	// below is untouched by clustering, so dev-mode behavior (and its fixed
+	// -seed experiment output) stays byte-identical.
+	if *role != "single" {
+		cfg := clusterConfig{
+			Role: *role, Addr: *addr, HTTPAddr: *httpAddr,
+			ReadTokens: splitTokens(*httpReadTok), OpTokens: splitTokens(*httpOpTok),
+			Speed: *speed, Duration: *duration, SpecsPath: *specsPath,
+			WALDir: *walDir, Fsync: *fsyncMode,
+			Join: *join, ClusterAddr: *clusterAddr, Node: *node,
+			Lease: *leaseTTL, Heartbeat: *heartbeat, ArbWindow: *arbWindow,
+		}
+		switch *role {
+		case "coordinator":
+			return runCoordinator(cfg)
+		case "worker":
+			return runWorker(cfg)
+		default:
+			return fmt.Errorf("unknown -role %q (want single, coordinator, or worker)", *role)
+		}
+	}
 
 	specsJSON := []byte(defaultSpecs)
 	if *specsPath != "" {
@@ -183,9 +225,9 @@ func run() error {
 	svc := tsdb.NewService(db).Attach(b, "modad")
 	defer svc.Close()
 
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 16
-	cl := cluster.New(engine, ccfg)
+	cl := hw.New(engine, ccfg)
 	plant := facility.New(engine, facility.DefaultConfig(), cl)
 	fs := pfs.New(engine, pfs.Config{OSTs: 8, OSTBandwidthMBps: 300, DefaultStripeCount: 4})
 	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())

@@ -20,10 +20,10 @@ import (
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
 	"autoloop/internal/cases"
-	"autoloop/internal/cluster"
 	"autoloop/internal/control"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -36,9 +36,9 @@ func main() {
 	// --- the managed system and its monitoring plane ---
 	engine := sim.NewEngine(11)
 	db := tsdb.New(0)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 16
-	cl := cluster.New(engine, ccfg)
+	cl := hw.New(engine, ccfg)
 	plant := facility.New(engine, facility.DefaultConfig(), cl)
 	fs := pfs.New(engine, pfs.Config{OSTs: 4, OSTBandwidthMBps: 300, DefaultStripeCount: 2})
 	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())

@@ -17,10 +17,10 @@ import (
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
 	"autoloop/internal/cases"
-	"autoloop/internal/cluster"
 	"autoloop/internal/control"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -35,9 +35,9 @@ func main() {
 	db := tsdb.New(0)
 
 	// --- the managed system, one component per Fig. 1 box ---
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 16
-	cl := cluster.New(engine, ccfg)                                                          // system hardware
+	cl := hw.New(engine, ccfg)                                                               // system hardware
 	plant := facility.New(engine, facility.DefaultConfig(), cl)                              // building infrastructure
 	fs := pfs.New(engine, pfs.Config{OSTs: 8, OSTBandwidthMBps: 300, DefaultStripeCount: 4}) // system software
 	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())

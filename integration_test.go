@@ -16,9 +16,9 @@ import (
 	"autoloop/internal/cases/ostcase"
 	"autoloop/internal/cases/powercase"
 	"autoloop/internal/cases/schedcase"
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
+	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -31,7 +31,7 @@ import (
 type world struct {
 	engine    *sim.Engine
 	db        *tsdb.DB
-	cl        *cluster.Cluster
+	cl        *hw.Cluster
 	plant     *facility.Plant
 	fs        *pfs.FS
 	scheduler *sched.Scheduler
@@ -43,10 +43,10 @@ func newWorld(t *testing.T, seed int64) *world {
 	t.Helper()
 	engine := sim.NewEngine(seed)
 	db := tsdb.New(0)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 16
 	ccfg.SensorNoise = 0.01
-	cl := cluster.New(engine, ccfg)
+	cl := hw.New(engine, ccfg)
 	plant := facility.New(engine, facility.DefaultConfig(), cl)
 	plant.BindAmbient(cl)
 	fs := pfs.New(engine, pfs.Config{OSTs: 8, OSTBandwidthMBps: 300, DefaultStripeCount: 4})

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"time"
 
-	"autoloop/internal/cluster"
+	"autoloop/internal/hw"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -167,7 +167,7 @@ type Runtime struct {
 	engine *sim.Engine
 	db     *tsdb.DB
 	fs     *pfs.FS
-	cl     *cluster.Cluster
+	cl     *hw.Cluster
 
 	specs     map[string]Spec
 	instances map[int]*Instance // by job ID
@@ -182,7 +182,7 @@ type Runtime struct {
 
 // NewRuntime builds a runtime. db is required; fs and cl may be nil when the
 // scenario involves no I/O or node-utilization modeling.
-func NewRuntime(engine *sim.Engine, db *tsdb.DB, fs *pfs.FS, cl *cluster.Cluster) *Runtime {
+func NewRuntime(engine *sim.Engine, db *tsdb.DB, fs *pfs.FS, cl *hw.Cluster) *Runtime {
 	if engine == nil || db == nil {
 		panic("app: runtime requires engine and db")
 	}

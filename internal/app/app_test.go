@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"autoloop/internal/cluster"
+	"autoloop/internal/hw"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -18,7 +18,7 @@ type rig struct {
 	e  *sim.Engine
 	db *tsdb.DB
 	fs *pfs.FS
-	cl *cluster.Cluster
+	cl *hw.Cluster
 	s  *sched.Scheduler
 	rt *Runtime
 }
@@ -28,10 +28,10 @@ func newRig(t *testing.T) *rig {
 	e := sim.NewEngine(1)
 	db := tsdb.New(0)
 	fs := pfs.New(e, pfs.Config{OSTs: 4, OSTBandwidthMBps: 100, DefaultStripeCount: 2})
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 4
 	ccfg.SensorNoise = 0
-	cl := cluster.New(e, ccfg)
+	cl := hw.New(e, ccfg)
 	s := sched.New(e, cl.UpNodes(), sched.DefaultExtensionPolicy())
 	rt := NewRuntime(e, db, fs, cl)
 	rt.OnComplete = func(inst *Instance) { s.JobFinished(inst.Job.ID) }

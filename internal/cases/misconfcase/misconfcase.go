@@ -20,8 +20,8 @@ import (
 	"time"
 
 	"autoloop/internal/app"
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
+	"autoloop/internal/hw"
 	"autoloop/internal/sched"
 	"autoloop/internal/telemetry"
 )
@@ -70,7 +70,7 @@ type Controller struct {
 	db   telemetry.Querier
 	sch  *sched.Scheduler
 	apps *app.Runtime
-	cl   *cluster.Cluster
+	cl   *hw.Cluster
 
 	streaks map[int]map[app.Misconfig]int
 	flagged map[int]app.Misconfig
@@ -85,7 +85,7 @@ type Controller struct {
 
 // New builds the controller. cl may be nil when node telemetry is
 // unavailable (underutilization detection is then disabled).
-func New(cfg Config, db telemetry.Querier, sch *sched.Scheduler, apps *app.Runtime, cl *cluster.Cluster) *Controller {
+func New(cfg Config, db telemetry.Querier, sch *sched.Scheduler, apps *app.Runtime, cl *hw.Cluster) *Controller {
 	if db == nil || sch == nil || apps == nil {
 		panic("misconfcase: nil dependency")
 	}

@@ -7,8 +7,8 @@ import (
 
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
+	"autoloop/internal/hw"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
 	"autoloop/internal/tsdb"
@@ -17,7 +17,7 @@ import (
 type rig struct {
 	e   *sim.Engine
 	db  *tsdb.DB
-	cl  *cluster.Cluster
+	cl  *hw.Cluster
 	s   *sched.Scheduler
 	rt  *app.Runtime
 	ctl *Controller
@@ -27,10 +27,10 @@ func newRig(t *testing.T, fix bool) *rig {
 	t.Helper()
 	e := sim.NewEngine(1)
 	db := tsdb.New(0)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 8
 	ccfg.SensorNoise = 0
-	cl := cluster.New(e, ccfg)
+	cl := hw.New(e, ccfg)
 	s := sched.New(e, cl.UpNodes(), sched.DefaultExtensionPolicy())
 	rt := app.NewRuntime(e, db, nil, cl)
 	rt.OnComplete = func(inst *app.Instance) { s.JobFinished(inst.Job.ID) }

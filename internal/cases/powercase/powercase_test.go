@@ -4,9 +4,9 @@ import (
 	"testing"
 	"time"
 
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
+	"autoloop/internal/hw"
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
@@ -15,7 +15,7 @@ import (
 type rig struct {
 	e     *sim.Engine
 	db    *tsdb.DB
-	cl    *cluster.Cluster
+	cl    *hw.Cluster
 	plant *facility.Plant
 	ctl   *Controller
 }
@@ -24,10 +24,10 @@ func newRig(t *testing.T) *rig {
 	t.Helper()
 	e := sim.NewEngine(1)
 	db := tsdb.New(0)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 8
 	ccfg.SensorNoise = 0
-	cl := cluster.New(e, ccfg)
+	cl := hw.New(e, ccfg)
 	plant := facility.New(e, facility.DefaultConfig(), cl)
 	plant.BindAmbient(cl) // setpoint changes feed back into node temps
 	reg := telemetry.NewRegistry()

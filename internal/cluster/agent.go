@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/control"
+	"autoloop/internal/fleet"
+	"autoloop/internal/tsdb"
+)
+
+// Worker-side defaults.
+const (
+	// DefaultHeartbeat is the lease-renewal period; keep it well under the
+	// coordinator's lease TTL.
+	DefaultHeartbeat = 1 * time.Second
+	// DefaultHelloEvery re-announces membership every N heartbeats, so a
+	// restarted coordinator (empty directory) re-learns its workers within
+	// N×heartbeat without any negative acknowledgement on the wire.
+	DefaultHelloEvery = 5
+	// DefaultArbTimeout bounds the digest/verdict round trip per fleet
+	// round; on timeout the round proceeds un-arbitrated (fail open), so a
+	// slow or absent coordinator degrades to single-node behavior instead
+	// of stalling the loops.
+	DefaultArbTimeout = 250 * time.Millisecond
+)
+
+// AgentOptions configures a worker Agent.
+type AgentOptions struct {
+	// ID names the worker; it must be unique in the cluster.
+	ID string
+	// Heartbeat is the lease-renewal period (default DefaultHeartbeat).
+	Heartbeat time.Duration
+	// HelloEvery re-Hellos every N heartbeats (default DefaultHelloEvery).
+	HelloEvery int
+	// ArbTimeout bounds the cross-node arbitration round trip (default
+	// DefaultArbTimeout). Zero selects the default; negative disables the
+	// digest hook entirely (rounds stay byte-identical to single-node).
+	ArbTimeout time.Duration
+	// Stats, when set, fills the telemetry fields of each heartbeat.
+	Stats func() (series int, samples uint64, rounds int)
+}
+
+// Agent is the worker side of the cluster: it registers with the
+// coordinator over the bus bridge, renews its lease, spawns assigned specs
+// into the local control.Service, answers fanned-out control and tsdb
+// requests, and submits fleet-round digests for cross-node arbitration.
+type Agent struct {
+	opts AgentOptions
+	b    *bus.Bus
+	ctl  *control.Service
+	db   *tsdb.Service
+
+	mu     sync.Mutex
+	held   map[string][]string // group -> spawned loop names
+	seq    uint64              // heartbeat sequence
+	digSeq uint64              // digest sequence
+	waits  map[uint64]chan Verdict
+
+	cancels  []func()
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// NewAgent attaches a worker agent to the local bus b, whose bridge client
+// must export WorkerExportPattern to the coordinator (the caller dials; the
+// agent only speaks topics). ctl serves assignments and fanned control ops;
+// db, when non-nil, answers fanned tsdb queries. The agent installs the
+// cross-node arbitration hook on ctl's fleet coordinator unless ArbTimeout
+// is negative. Call Close to detach.
+func NewAgent(b *bus.Bus, ctl *control.Service, db *tsdb.Service, opts AgentOptions) (*Agent, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("cluster: agent needs an ID")
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	if opts.HelloEvery <= 0 {
+		opts.HelloEvery = DefaultHelloEvery
+	}
+	if opts.ArbTimeout == 0 {
+		opts.ArbTimeout = DefaultArbTimeout
+	}
+	a := &Agent{
+		opts:  opts,
+		b:     b,
+		ctl:   ctl,
+		db:    db,
+		held:  make(map[string][]string),
+		waits: make(map[uint64]chan Verdict),
+		stop:  make(chan struct{}),
+	}
+	a.cancels = append(a.cancels,
+		b.Subscribe(TopicAssign, a.handleAssign),
+		b.Subscribe(TopicRevoke, a.handleRevoke),
+		b.Subscribe(TopicFanout, a.handleFanout),
+		b.Subscribe(TopicVerdict, a.handleVerdict),
+	)
+	if opts.ArbTimeout > 0 {
+		ctl.Coordinator().SetExternalArbiter(a.arbitrate)
+	}
+	a.sendHello()
+	a.done.Add(1)
+	go a.heartbeatLoop()
+	return a, nil
+}
+
+// Close stops the heartbeat loop and detaches the agent from the bus. The
+// control service keeps running its loops; only cluster participation ends.
+// Close is idempotent.
+func (a *Agent) Close() {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		a.done.Wait()
+		for _, cancel := range a.cancels {
+			cancel()
+		}
+		a.cancels = nil
+		a.ctl.Coordinator().SetExternalArbiter(nil)
+	})
+}
+
+// Held returns the groups the agent currently holds, sorted.
+func (a *Agent) Held() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.held))
+	for g := range a.held {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Agent) publish(topic string, payload interface{}) {
+	a.b.Publish(bus.Envelope{Topic: topic, Source: a.opts.ID, Payload: payload})
+}
+
+func (a *Agent) sendHello() {
+	a.publish(TopicHello, Hello{Worker: a.opts.ID, Groups: a.Held()})
+}
+
+func (a *Agent) heartbeatLoop() {
+	defer a.done.Done()
+	t := time.NewTicker(a.opts.Heartbeat)
+	defer t.Stop()
+	beats := 0
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		beats++
+		if beats%a.opts.HelloEvery == 0 {
+			a.sendHello()
+		}
+		hb := Heartbeat{Worker: a.opts.ID}
+		a.mu.Lock()
+		a.seq++
+		hb.Seq = a.seq
+		hb.Groups = len(a.held)
+		a.mu.Unlock()
+		if a.opts.Stats != nil {
+			hb.Series, hb.Samples, hb.Rounds = a.opts.Stats()
+		}
+		a.publish(TopicHeartbeat, hb)
+	}
+}
+
+// handleAssign spawns one assigned spec. Assigns are idempotent: re-assigning
+// a held group acks OK with the existing loop names (the coordinator re-sends
+// unacked assigns, and a rebalance may re-affirm ownership).
+func (a *Agent) handleAssign(env bus.Envelope) {
+	var as Assign
+	if err := bus.DecodePayload(env, &as); err != nil || as.Worker != a.opts.ID {
+		return
+	}
+	ack := Ack{Worker: a.opts.ID, ID: as.ID, Group: as.Group}
+	a.mu.Lock()
+	loops, have := a.held[as.Group]
+	a.mu.Unlock()
+	if have {
+		ack.OK = true
+		ack.Loops = loops
+		a.publish(TopicAck, ack)
+		return
+	}
+	sp, err := a.ctl.Spawn(as.Spec)
+	if err != nil {
+		ack.Error = err.Error()
+		a.publish(TopicAck, ack)
+		return
+	}
+	for _, bl := range sp.Loops {
+		ack.Loops = append(ack.Loops, bl.Loop.Name)
+	}
+	ack.OK = true
+	a.mu.Lock()
+	a.held[as.Group] = ack.Loops
+	a.mu.Unlock()
+	a.publish(TopicAck, ack)
+}
+
+// handleRevoke removes a held group (rebalance moved it, or the operator
+// removed the spec).
+func (a *Agent) handleRevoke(env bus.Envelope) {
+	var rv Revoke
+	if err := bus.DecodePayload(env, &rv); err != nil || rv.Worker != a.opts.ID {
+		return
+	}
+	ack := Ack{Worker: a.opts.ID, ID: rv.ID, Group: rv.Group}
+	a.mu.Lock()
+	loops, have := a.held[rv.Group]
+	delete(a.held, rv.Group)
+	a.mu.Unlock()
+	if !have {
+		ack.OK = true // already gone; revokes are idempotent too
+		a.publish(TopicAck, ack)
+		return
+	}
+	r := a.ctl.Handle(control.Request{Op: control.OpRemove, Loop: loops[0]})
+	ack.OK = r.OK
+	ack.Error = r.Error
+	a.publish(TopicAck, ack)
+}
+
+// handleFanout answers one scattered request from the local services.
+func (a *Agent) handleFanout(env bus.Envelope) {
+	var f Fanout
+	if err := bus.DecodePayload(env, &f); err != nil || f.Worker != a.opts.ID {
+		return
+	}
+	reply := FanReply{Worker: a.opts.ID, ID: f.ID}
+	switch {
+	case f.Control != nil:
+		r := a.ctl.Handle(*f.Control)
+		reply.Control = &r
+	case f.ApproveVerdict != nil:
+		r := a.ctl.Verdict(true, *f.ApproveVerdict)
+		reply.Control = &r
+	case f.DenyVerdict != nil:
+		r := a.ctl.Verdict(false, *f.DenyVerdict)
+		reply.Control = &r
+	case f.Query != nil:
+		if a.db == nil {
+			reply.Err = "worker has no tsdb service"
+		} else {
+			r := a.db.Answer(*f.Query)
+			reply.Query = &r
+		}
+	default:
+		reply.Err = "empty fanout"
+	}
+	a.publish(TopicReply, reply)
+}
+
+// arbitrate is the fleet coordinator's external-arbiter hook: it submits the
+// round's digests and waits for the coordinator's verdict, failing open on
+// timeout. It runs on the worker's tick goroutine; the verdict arrives on
+// the bridge client's read goroutine.
+func (a *Agent) arbitrate(now time.Duration, digests []fleet.ActionDigest) []bool {
+	ch := make(chan Verdict, 1)
+	a.mu.Lock()
+	a.digSeq++
+	seq := a.digSeq
+	a.waits[seq] = ch
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.waits, seq)
+		a.mu.Unlock()
+	}()
+	a.publish(TopicDigest, digestFromFleet(a.opts.ID, seq, digests))
+	select {
+	case v := <-ch:
+		if len(v.Deny) != len(digests) {
+			return nil // malformed verdict: fail open
+		}
+		return v.Deny
+	case <-time.After(a.opts.ArbTimeout):
+		return nil
+	case <-a.stop:
+		return nil
+	}
+}
+
+// handleVerdict routes a coordinator verdict to the round waiting on it.
+func (a *Agent) handleVerdict(env bus.Envelope) {
+	var v Verdict
+	if err := bus.DecodePayload(env, &v); err != nil || v.Worker != a.opts.ID {
+		return
+	}
+	a.mu.Lock()
+	ch := a.waits[v.Seq]
+	a.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}

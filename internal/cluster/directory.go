@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Directory is the coordinator's member table: who has joined, when each
+// member last renewed its lease, and each member's last-reported load. Time
+// is the caller's wall clock, passed in explicitly so tests control it.
+type Directory struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	members map[string]*memberEntry
+}
+
+type memberEntry struct {
+	id       string
+	lastBeat time.Time
+	expired  bool
+	hb       Heartbeat
+}
+
+// DefaultLeaseTTL is the lease window: a worker that has not been heard from
+// for this long is declared dead and its loops fail over.
+const DefaultLeaseTTL = 5 * time.Second
+
+// NewDirectory returns an empty directory; ttl <= 0 selects DefaultLeaseTTL.
+func NewDirectory(ttl time.Duration) *Directory {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &Directory{ttl: ttl, members: make(map[string]*memberEntry)}
+}
+
+// TTL returns the lease window.
+func (d *Directory) TTL() time.Duration { return d.ttl }
+
+// Hello registers (or revives) a member and reports whether it was not
+// previously alive — i.e. whether the caller should add it to the ring.
+func (d *Directory) Hello(id string, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.members[id]
+	if e == nil {
+		e = &memberEntry{id: id}
+		d.members[id] = e
+	}
+	wasDead := e.expired || e.lastBeat.IsZero()
+	e.lastBeat = now
+	e.expired = false
+	return wasDead
+}
+
+// Beat renews a member's lease with its reported stats. An unknown or
+// expired member returns false — the worker must re-Hello (heartbeats from
+// the dead are not resurrections: its loops may already be replaced).
+func (d *Directory) Beat(hb Heartbeat, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.members[hb.Worker]
+	if e == nil || e.expired {
+		return false
+	}
+	e.lastBeat = now
+	e.hb = hb
+	return true
+}
+
+// Sweep expires every alive member whose lease lapsed before now and returns
+// their IDs in sorted order. Expired members stay in the directory (visible
+// as "expired" in Members) until the same worker re-Hellos.
+func (d *Directory) Sweep(now time.Time) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for id, e := range d.members {
+		if !e.expired && now.Sub(e.lastBeat) > d.ttl {
+			e.expired = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alive returns the alive member IDs in sorted order.
+func (d *Directory) Alive() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for id, e := range d.members {
+		if !e.expired {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsAlive reports whether id is a current (non-expired) member.
+func (d *Directory) IsAlive(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.members[id]
+	return e != nil && !e.expired
+}
+
+// snapshot returns every member's entry for reporting, sorted by ID.
+func (d *Directory) snapshot(now time.Time) []memberView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]memberView, 0, len(d.members))
+	for _, e := range d.members {
+		out = append(out, memberView{
+			id: e.id, expired: e.expired, sinceBeat: now.Sub(e.lastBeat), hb: e.hb,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+type memberView struct {
+	id        string
+	expired   bool
+	sinceBeat time.Duration
+	hb        Heartbeat
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDirectoryLeaseLifecycle(t *testing.T) {
+	d := NewDirectory(5 * time.Second)
+	t0 := time.Unix(100, 0)
+
+	if !d.Hello("w1", t0) {
+		t.Fatal("first Hello should report a fresh member")
+	}
+	if d.Hello("w1", t0.Add(time.Second)) {
+		t.Fatal("repeat Hello of an alive member should not report fresh")
+	}
+	if !d.Beat(Heartbeat{Worker: "w1", Seq: 1}, t0.Add(2*time.Second)) {
+		t.Fatal("Beat of an alive member should succeed")
+	}
+	if d.Beat(Heartbeat{Worker: "ghost"}, t0) {
+		t.Fatal("Beat of an unknown member should fail")
+	}
+
+	// Within the lease nothing expires.
+	if expired := d.Sweep(t0.Add(6 * time.Second)); len(expired) != 0 {
+		t.Fatalf("Sweep expired %v inside the lease window", expired)
+	}
+	// Past the lease the member expires, exactly once.
+	expired := d.Sweep(t0.Add(8 * time.Second))
+	if len(expired) != 1 || expired[0] != "w1" {
+		t.Fatalf("Sweep = %v, want [w1]", expired)
+	}
+	if expired := d.Sweep(t0.Add(9 * time.Second)); len(expired) != 0 {
+		t.Fatalf("second Sweep re-expired %v", expired)
+	}
+	if d.IsAlive("w1") {
+		t.Fatal("expired member reported alive")
+	}
+	// Heartbeats from the dead are not resurrections.
+	if d.Beat(Heartbeat{Worker: "w1", Seq: 9}, t0.Add(9*time.Second)) {
+		t.Fatal("Beat of an expired member should fail")
+	}
+	// A re-Hello revives it and reports fresh (ring re-add).
+	if !d.Hello("w1", t0.Add(10*time.Second)) {
+		t.Fatal("re-Hello of an expired member should report fresh")
+	}
+	if !d.IsAlive("w1") {
+		t.Fatal("revived member not alive")
+	}
+}
+
+func TestDirectoryAliveSorted(t *testing.T) {
+	d := NewDirectory(0)
+	now := time.Unix(0, 0)
+	for _, id := range []string{"w3", "w1", "w2"} {
+		d.Hello(id, now)
+	}
+	got := d.Alive()
+	want := []string{"w1", "w2", "w3"}
+	if len(got) != len(want) {
+		t.Fatalf("Alive = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Alive = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/control"
+	"autoloop/internal/wal"
+)
+
+// TestCoordinatorLedgerRestart restarts a coordinator from its placement
+// ledger: the spec table and last known owners come back from the WAL, the
+// still-running worker re-Hellos, and every placement reconciles to placed
+// without a single re-spawn on the worker.
+func TestCoordinatorLedgerRestart(t *testing.T) {
+	ledger, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatalf("open ledger: %v", err)
+	}
+	defer ledger.Close()
+
+	tc := newTestCluster(t, Options{Lease: 2 * time.Second, Ledger: ledger})
+	// HelloEvery 2 keeps re-announcement fast, so the restarted coordinator
+	// re-learns the worker quickly.
+	w := newTestWorker(t, tc.addr, "w1", AgentOptions{HelloEvery: 2})
+
+	const groups = 3
+	for i := 0; i < groups; i++ {
+		if _, err := tc.coord.AddSpec(control.LoopSpec{Case: "script", Name: fmt.Sprintf("g%d", i)}); err != nil {
+			t.Fatalf("AddSpec: %v", err)
+		}
+	}
+	waitFor(t, 5*time.Second, "all specs placed", func() bool {
+		return placedCount(tc.coord) == groups
+	})
+	spawnedBefore := len(w.agent.Held())
+
+	// "Restart": the old coordinator detaches, a new one replays the ledger
+	// on the same bus (the bridge server and worker connection survive, as
+	// they would across a fast coordinator process restart on one host).
+	tc.coord.Close()
+	if err := ledger.Sync(); err != nil {
+		t.Fatalf("sync ledger: %v", err)
+	}
+	coord2 := NewCoordinator(tc.b, Options{Lease: 2 * time.Second, Ledger: ledger})
+	t.Cleanup(coord2.Close)
+	r, err := ledger.Replay(0)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("replay next: %v", err)
+		}
+		if rec.Kind != wal.KindClusterEvent {
+			continue
+		}
+		if err := coord2.ApplyWAL(rec.Payload); err != nil {
+			t.Fatalf("ApplyWAL: %v", err)
+		}
+	}
+	r.Close()
+	coord2.RestoreDone()
+
+	// The table is back immediately (state degraded until the hello).
+	if got := len(coord2.Placements()); got != groups {
+		t.Fatalf("restored %d placements, want %d", got, groups)
+	}
+
+	// The worker's periodic hello reconciles everything back to placed.
+	waitFor(t, 5*time.Second, "placements reconciled", func() bool {
+		coord2.Tick(time.Now())
+		return placedCount(coord2) == groups && len(coord2.Directory().Alive()) == 1
+	})
+	// No re-spawn happened: the worker holds exactly what it held before.
+	if got := len(w.agent.Held()); got != spawnedBefore {
+		t.Fatalf("worker holds %d groups after restart, held %d before", got, spawnedBefore)
+	}
+}
+
+// TestApplyWALRejectsGarbage checks ledger replay surfaces corruption
+// instead of silently building a wrong placement table.
+func TestApplyWALRejectsGarbage(t *testing.T) {
+	c := NewCoordinator(bus.New(), Options{})
+	defer c.Close()
+	if err := c.ApplyWAL([]byte("not json")); err == nil {
+		t.Fatal("malformed ledger payload accepted")
+	}
+	if err := c.ApplyWAL([]byte(`{"op":"warp","group":"g"}`)); err == nil {
+		t.Fatal("unknown ledger op accepted")
+	}
+	if err := c.ApplyWAL([]byte(`{"op":"spec","group":"g"}`)); err == nil {
+		t.Fatal("spec event without a spec accepted")
+	}
+	// A valid sequence builds the table.
+	for _, payload := range []string{
+		`{"op":"spec","group":"g","spec":{"case":"script","name":"g"}}`,
+		`{"op":"assign","group":"g","worker":"w1"}`,
+		`{"op":"placed","group":"g","worker":"w1"}`,
+	} {
+		if err := c.ApplyWAL([]byte(payload)); err != nil {
+			t.Fatalf("ApplyWAL(%s): %v", payload, err)
+		}
+	}
+	ps := c.Placements()
+	if len(ps) != 1 || ps[0].Worker != "w1" || ps[0].State != placePlaced {
+		t.Fatalf("replayed placements = %+v", ps)
+	}
+	// An expire event releases the dead worker's groups.
+	if err := c.ApplyWAL([]byte(`{"op":"expire","worker":"w1"}`)); err != nil {
+		t.Fatalf("expire: %v", err)
+	}
+	ps = c.Placements()
+	if ps[0].Worker != "" || ps[0].State != placePending {
+		t.Fatalf("placements after expire = %+v", ps)
+	}
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/control"
+	"autoloop/internal/tsdb"
+)
+
+// TestScatterAllReply fans a request to two in-process responders and checks
+// the gather returns both replies in worker order without waiting out the
+// timeout.
+func TestScatterAllReply(t *testing.T) {
+	b := bus.New()
+	s := newScatter(b, "test", 5*time.Second)
+	cancel := b.Subscribe(TopicReply, s.handleReply)
+	defer cancel()
+	for _, id := range []string{"w1", "w2"} {
+		id := id
+		c := b.Subscribe(TopicFanout, func(env bus.Envelope) {
+			var f Fanout
+			if bus.DecodePayload(env, &f) != nil || f.Worker != id {
+				return
+			}
+			b.Publish(bus.Envelope{Topic: TopicReply, Payload: FanReply{
+				Worker: id, ID: f.ID, Control: &control.Reply{Op: "list", OK: true},
+			}})
+		})
+		defer c()
+	}
+
+	start := time.Now()
+	replies := s.Fan([]string{"w2", "w1"}, func(w, id string) Fanout {
+		return Fanout{Worker: w, ID: id, Control: &control.Request{Op: "list"}}
+	})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("full gather waited %v despite all replies arriving", elapsed)
+	}
+	if len(replies) != 2 || replies[0].Worker != "w1" || replies[1].Worker != "w2" {
+		t.Fatalf("replies = %+v, want w1 then w2", replies)
+	}
+	for _, r := range replies {
+		if r.Err != "" || r.Control == nil || !r.Control.OK {
+			t.Fatalf("reply = %+v", r)
+		}
+	}
+}
+
+// TestScatterTimeoutSynthesizesErrors checks a silent worker yields an Err
+// entry rather than a missing row or a stall.
+func TestScatterTimeoutSynthesizesErrors(t *testing.T) {
+	b := bus.New()
+	s := newScatter(b, "test", 100*time.Millisecond)
+	cancel := b.Subscribe(TopicReply, s.handleReply)
+	defer cancel()
+	c := b.Subscribe(TopicFanout, func(env bus.Envelope) {
+		var f Fanout
+		if bus.DecodePayload(env, &f) != nil || f.Worker != "w1" {
+			return // w2 never answers
+		}
+		b.Publish(bus.Envelope{Topic: TopicReply, Payload: FanReply{
+			Worker: "w1", ID: f.ID, Control: &control.Reply{Op: "list", OK: true},
+		}})
+	})
+	defer c()
+
+	replies := s.Fan([]string{"w1", "w2"}, func(w, id string) Fanout {
+		return Fanout{Worker: w, ID: id, Control: &control.Request{Op: "list"}}
+	})
+	if len(replies) != 2 {
+		t.Fatalf("got %d replies, want 2", len(replies))
+	}
+	if replies[0].Worker != "w1" || replies[0].Err != "" {
+		t.Fatalf("w1 reply = %+v", replies[0])
+	}
+	if replies[1].Worker != "w2" || replies[1].Err == "" {
+		t.Fatalf("w2 reply should carry a timeout error: %+v", replies[1])
+	}
+	if s.timeous.Load() != 1 {
+		t.Fatalf("timeouts = %d, want 1", s.timeous.Load())
+	}
+}
+
+// TestMergeQuery merges two worker responses and one failure into a single
+// deterministic response with the gap reported.
+func TestMergeQuery(t *testing.T) {
+	resp := MergeQuery("q1", []FanReply{
+		{Worker: "w1", Query: &tsdb.QueryResponse{Series: []tsdb.WireSeries{
+			{Metric: "node.temp", Labels: map[string]string{"node": "w1"}},
+			{Metric: "app.rate", Labels: map[string]string{"node": "w1"}},
+		}}},
+		{Worker: "w2", Query: &tsdb.QueryResponse{Series: []tsdb.WireSeries{
+			{Metric: "node.temp", Labels: map[string]string{"node": "w2"}},
+		}}},
+		{Worker: "w3", Err: "no reply within 2s"},
+	})
+	if resp.ID != "q1" {
+		t.Fatalf("ID = %q", resp.ID)
+	}
+	if len(resp.Series) != 3 {
+		t.Fatalf("merged %d series, want 3", len(resp.Series))
+	}
+	// Sorted by metric then label fingerprint.
+	if resp.Series[0].Metric != "app.rate" ||
+		resp.Series[1].Labels["node"] != "w1" || resp.Series[2].Labels["node"] != "w2" {
+		t.Fatalf("merge order wrong: %+v", resp.Series)
+	}
+	if !strings.Contains(resp.Err, "w3") {
+		t.Fatalf("missing worker not reported: %q", resp.Err)
+	}
+}
+
+// TestMergeControlLists checks partial coverage stays OK with the gap named,
+// and total failure flips OK off.
+func TestMergeControlLists(t *testing.T) {
+	merged := mergeControlLists(control.OpList, "r1", []FanReply{
+		{Worker: "w2", Control: &control.Reply{OK: true, Loops: []control.LoopStatus{
+			{Name: "b", Group: "b"},
+		}}},
+		{Worker: "w1", Control: &control.Reply{OK: true, Loops: []control.LoopStatus{
+			{Name: "a", Group: "a"},
+		}}},
+		{Worker: "w3", Err: "timeout"},
+	})
+	if !merged.OK {
+		t.Fatalf("partial coverage should stay OK: %+v", merged)
+	}
+	if len(merged.Loops) != 2 || merged.Loops[0].Name != "a" || merged.Loops[0].Worker != "w1" {
+		t.Fatalf("merged loops = %+v", merged.Loops)
+	}
+	if !strings.Contains(merged.Error, "w3") {
+		t.Fatalf("gap not named: %q", merged.Error)
+	}
+
+	dead := mergeControlLists(control.OpList, "r2", []FanReply{
+		{Worker: "w1", Err: "timeout"},
+		{Worker: "w2", Err: "timeout"},
+	})
+	if dead.OK {
+		t.Fatalf("all-failed merge should not be OK: %+v", dead)
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"autoloop/internal/bus"
+	"autoloop/internal/control"
+	"autoloop/internal/fleet"
+)
+
+// seedEnvelopes is one well-formed envelope per cluster topic — the decode
+// test matrix and the fuzz seed corpus.
+func seedEnvelopes(t testing.TB) [][]byte {
+	envs := []bus.Envelope{
+		{Topic: TopicHello, Source: "w1", Payload: Hello{Worker: "w1", Groups: []string{"power"}}},
+		{Topic: TopicHeartbeat, Source: "w1", Payload: Heartbeat{Worker: "w1", Seq: 3, Groups: 2, Series: 10, Samples: 1000, Rounds: 7}},
+		{Topic: TopicAck, Source: "w1", Payload: Ack{Worker: "w1", ID: "asg-1", Group: "power", OK: true, Loops: []string{"power"}}},
+		{Topic: TopicDigest, Source: "w1", Payload: Digest{Worker: "w1", Seq: 1, Actions: []fleet.ActionDigest{
+			{Loop: "power", Kind: "cap.power", Subject: "plant", Priority: 5, Amount: 2.5, Confidence: 0.9},
+		}}},
+		{Topic: TopicReply, Source: "w1", Payload: FanReply{Worker: "w1", ID: "fan-1", Control: &control.Reply{Op: "list", OK: true}}},
+		{Topic: TopicAssign, Source: "coordinator", Payload: Assign{Worker: "w1", ID: "asg-1", Group: "power", Spec: control.LoopSpec{Case: "power"}}},
+		{Topic: TopicRevoke, Source: "coordinator", Payload: Revoke{Worker: "w1", ID: "rev-1", Group: "power"}},
+		{Topic: TopicVerdict, Source: "coordinator", Payload: Verdict{Worker: "w1", Seq: 1, Deny: []bool{true}, Reasons: []string{"lost plant"}}},
+		{Topic: TopicFanout, Source: "coordinator", Payload: Fanout{Worker: "w1", ID: "fan-1", Control: &control.Request{Op: "list"}}},
+	}
+	lines := make([][]byte, 0, len(envs))
+	for _, env := range envs {
+		line, err := bus.Encode(env)
+		if err != nil {
+			t.Fatalf("encode %s: %v", env.Topic, err)
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestDecodeLineRoundTrip decodes every topic's seed envelope and checks the
+// payload type dispatch.
+func TestDecodeLineRoundTrip(t *testing.T) {
+	wantTypes := []interface{}{
+		&Hello{}, &Heartbeat{}, &Ack{}, &Digest{}, &FanReply{},
+		&Assign{}, &Revoke{}, &Verdict{}, &Fanout{},
+	}
+	for i, line := range seedEnvelopes(t) {
+		env, payload, err := DecodeLine(line)
+		if err != nil {
+			t.Fatalf("DecodeLine(#%d): %v", i, err)
+		}
+		if payload == nil {
+			t.Fatalf("DecodeLine(#%d) on topic %s returned no payload", i, env.Topic)
+		}
+		got, want := payload, wantTypes[i]
+		if gt, wt := typeName(got), typeName(want); gt != wt {
+			t.Fatalf("DecodeLine(#%d) type = %s, want %s", i, gt, wt)
+		}
+	}
+	// Round-trip one payload's content.
+	line, _ := bus.Encode(bus.Envelope{Topic: TopicHello, Payload: Hello{Worker: "w9", Groups: []string{"a", "b"}}})
+	_, payload, err := DecodeLine(line)
+	if err != nil {
+		t.Fatalf("DecodeLine: %v", err)
+	}
+	h := payload.(*Hello)
+	if h.Worker != "w9" || len(h.Groups) != 2 {
+		t.Fatalf("Hello round trip = %+v", h)
+	}
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case *Hello:
+		return "Hello"
+	case *Heartbeat:
+		return "Heartbeat"
+	case *Ack:
+		return "Ack"
+	case *Digest:
+		return "Digest"
+	case *FanReply:
+		return "FanReply"
+	case *Assign:
+		return "Assign"
+	case *Revoke:
+		return "Revoke"
+	case *Verdict:
+		return "Verdict"
+	case *Fanout:
+		return "Fanout"
+	}
+	return "?"
+}
+
+// TestDecodeEnvelopeForeignTopic checks non-cluster topics pass through as
+// (nil, nil) — the bridge carries plenty of other control.v1 traffic.
+func TestDecodeEnvelopeForeignTopic(t *testing.T) {
+	payload, err := DecodeEnvelope(bus.Envelope{Topic: "control.v1.req", Payload: map[string]interface{}{"op": "list"}})
+	if err != nil || payload != nil {
+		t.Fatalf("foreign topic = (%v, %v), want (nil, nil)", payload, err)
+	}
+}
+
+// FuzzClusterDecode fuzzes the cluster wire decoder with raw bridge lines:
+// whatever arrives off the TCP socket, DecodeLine must return an error or a
+// payload, never panic. Seeds cover every topic plus malformed shapes.
+func FuzzClusterDecode(f *testing.F) {
+	for _, line := range seedEnvelopes(f) {
+		f.Add(line)
+	}
+	f.Add([]byte(`{"topic":"control.v1.cluster.w.hello","payload":42}`))
+	f.Add([]byte(`{"topic":"control.v1.cluster.c.assign","payload":{"spec":{"case":[]}}}`))
+	f.Add([]byte(`{"topic":"control.v1.cluster.w.digest","payload":{"actions":[{"priority":"high"}]}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		env, payload, err := DecodeLine(line)
+		if err == nil && env.Topic == "" {
+			t.Fatal("decoded an envelope without a topic")
+		}
+		_ = payload
+	})
+}

@@ -11,9 +11,9 @@ import (
 
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
+	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -48,7 +48,7 @@ type Env struct {
 	Plant     *facility.Plant
 	Scheduler *sched.Scheduler
 	Apps      *app.Runtime
-	Cluster   *cluster.Cluster
+	Cluster   *hw.Cluster
 	FS        *pfs.FS
 	Knowledge *knowledge.Base
 

@@ -10,11 +10,11 @@ import (
 	"autoloop/internal/app"
 	"autoloop/internal/bus"
 	"autoloop/internal/cases"
-	"autoloop/internal/cluster"
 	"autoloop/internal/control"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
@@ -29,9 +29,9 @@ func testEnv(t testing.TB, seed int64) (*control.Env, *sim.Engine, *telemetry.Pi
 	t.Helper()
 	engine := sim.NewEngine(seed)
 	db := tsdb.New(0)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 8
-	cl := cluster.New(engine, ccfg)
+	cl := hw.New(engine, ccfg)
 	plant := facility.New(engine, facility.DefaultConfig(), cl)
 	fs := pfs.New(engine, pfs.Config{OSTs: 4, OSTBandwidthMBps: 200, DefaultStripeCount: 2})
 	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())

@@ -556,6 +556,11 @@ func (s *Service) Handle(req Request) Reply {
 		s.mu.Unlock()
 		r.Loop = &st
 		r.OK = true
+	case OpMembers:
+		// A single-process service has no worker directory; answering with
+		// an empty list (rather than an error) lets operator tooling probe
+		// any deployment with the same request.
+		r.OK = true
 	case OpPending:
 		s.qmu.Lock()
 		for _, seq := range s.order {

@@ -45,6 +45,9 @@ const (
 	OpSetMode  = "set-mode"  // change the operating mode at runtime
 	OpSetGuard = "set-guard" // append a guardrail (confidence gate, rate limit, ...)
 	OpPending  = "pending"   // list actions awaiting approval
+	// OpMembers enumerates a cluster coordinator's worker directory. A
+	// single-process control.Service answers it with an empty member list.
+	OpMembers = "members"
 )
 
 // Request is the payload of TopicRequest envelopes. ID correlates the
@@ -126,13 +129,43 @@ func wireMetrics(m core.Metrics) WireMetrics {
 	}
 }
 
+// MemberInfo is one worker process in a cluster coordinator's directory —
+// the payload of the members op (additive within control.v1).
+type MemberInfo struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "alive" or "expired"
+	// Loops is how many loop groups are currently placed on the member.
+	Loops int `json:"loops"`
+	// Series, Samples, and Rounds mirror the member's last heartbeat stats.
+	Series  int    `json:"series,omitempty"`
+	Samples uint64 `json:"samples,omitempty"`
+	Rounds  int    `json:"rounds,omitempty"`
+	// LastBeatMS is how many wall milliseconds ago the last heartbeat (or
+	// hello) arrived.
+	LastBeatMS int64 `json:"last_beat_ms"`
+}
+
+// PlacementInfo reports where a cluster coordinator placed one spawned spec
+// (additive within control.v1): the group name, the worker that owns it, and
+// the placement state ("pending" until a worker is available, "assigned"
+// while the assign is in flight, "placed" after the worker's ack).
+type PlacementInfo struct {
+	Group  string `json:"group"`
+	Case   string `json:"case"`
+	Worker string `json:"worker,omitempty"`
+	State  string `json:"state"`
+}
+
 // LoopStatus is one managed loop's reported state.
 type LoopStatus struct {
 	Name string `json:"name"`
 	Case string `json:"case"`
 	// Group is the spec's primary loop name; multi-loop cases (ioqos)
 	// report each loop under the same group.
-	Group      string      `json:"group,omitempty"`
+	Group string `json:"group,omitempty"`
+	// Worker names the cluster worker serving the loop; empty in a
+	// single-process deployment.
+	Worker     string      `json:"worker,omitempty"`
 	State      string      `json:"state"`
 	Mode       string      `json:"mode"`
 	Priority   int         `json:"priority"`
@@ -169,12 +202,20 @@ type Reply struct {
 	// Resolution acknowledges a verdict (outcome "queued"): the final
 	// fate is published on TopicResolved when the next round applies it.
 	Resolution *Resolution `json:"resolution,omitempty"`
+	// Members answers the members op (cluster coordinators only).
+	Members []MemberInfo `json:"members,omitempty"`
+	// Placement reports where a cluster coordinator placed a spawned spec.
+	Placement *PlacementInfo `json:"placement,omitempty"`
 }
 
 // PendingInfo is one queued human-in-the-loop action awaiting a verdict.
 type PendingInfo struct {
 	Seq  uint64 `json:"seq"`
 	Loop string `json:"loop"`
+	// Worker names the cluster worker holding the pending action; empty in
+	// a single-process deployment. Cluster verdicts should carry the loop
+	// name as a cross-check, since pending sequence numbers are per-worker.
+	Worker string `json:"worker,omitempty"`
 	// Decided is the virtual time the loop planned the action (the
 	// decision-latency epoch).
 	Decided Duration   `json:"decided"`

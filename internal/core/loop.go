@@ -236,6 +236,13 @@ func (pt *PlannedTick) Actions() []Action {
 // Time returns the virtual time the plan half ran at.
 func (pt *PlannedTick) Time() time.Duration { return pt.now }
 
+// Arbitrated reports whether action i has already been marked lost to a
+// cross-loop conflict, so layered arbiters (a fleet's local arbiter, then a
+// cluster coordinator's cross-node arbiter) do not re-litigate losers.
+func (pt *PlannedTick) Arbitrated(i int) bool {
+	return pt.lost != nil && i >= 0 && i < len(pt.lost) && pt.lost[i] != ""
+}
+
 // Arbitrate marks action i as lost to a cross-loop conflict: ExecutePlanned
 // will audit and publish it as arbitrated instead of dispatching it.
 func (pt *PlannedTick) Arbitrate(i int, reason string) {

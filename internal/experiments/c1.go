@@ -5,10 +5,10 @@ import (
 	"time"
 
 	"autoloop/internal/bus"
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/hw"
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
@@ -117,10 +117,10 @@ func runC1(opt Options) *Result {
 		engine := sim.NewEngine(opt.Seed)
 		db := tsdb.New(0)
 		b := bus.New()
-		ccfg := cluster.DefaultConfig()
+		ccfg := hw.DefaultConfig()
 		ccfg.Nodes = 32
 		ccfg.SensorNoise = 0.01
-		cl := cluster.New(engine, ccfg)
+		cl := hw.New(engine, ccfg)
 		plant := facility.New(engine, facility.DefaultConfig(), cl)
 		plant.BindAmbient(cl)
 		reg := telemetry.NewRegistry()

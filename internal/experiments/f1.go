@@ -6,8 +6,8 @@ import (
 
 	"autoloop/internal/analytics"
 	"autoloop/internal/app"
-	"autoloop/internal/cluster"
 	"autoloop/internal/facility"
+	"autoloop/internal/hw"
 	"autoloop/internal/pfs"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
@@ -39,9 +39,9 @@ func runF1(opt Options) *Result {
 	engine := sim.NewEngine(opt.Seed)
 	db := tsdb.New(0)
 
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 32
-	cl := cluster.New(engine, ccfg)
+	cl := hw.New(engine, ccfg)
 	plant := facility.New(engine, facility.DefaultConfig(), cl)
 	fs := pfs.New(engine, pfs.Config{OSTs: 8, OSTBandwidthMBps: 300, DefaultStripeCount: 4})
 	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())

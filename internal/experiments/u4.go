@@ -7,7 +7,7 @@ import (
 
 	"autoloop/internal/app"
 	"autoloop/internal/cases/misconfcase"
-	"autoloop/internal/cluster"
+	"autoloop/internal/hw"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
 	"autoloop/internal/tsdb"
@@ -35,10 +35,10 @@ func runU4(opt Options) *Result {
 
 	engine := sim.NewEngine(opt.Seed)
 	db := tsdb.New(0)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 48
 	ccfg.SensorNoise = 0.01
-	cl := cluster.New(engine, ccfg)
+	cl := hw.New(engine, ccfg)
 	scheduler := sched.New(engine, cl.UpNodes(), sched.DefaultExtensionPolicy())
 	runtime := app.NewRuntime(engine, db, nil, cl)
 	runtime.OnComplete = func(inst *app.Instance) { scheduler.JobFinished(inst.Job.ID) }

@@ -5,10 +5,10 @@ import (
 	"time"
 
 	"autoloop/internal/cases/powercase"
-	"autoloop/internal/cluster"
 	"autoloop/internal/core"
 	"autoloop/internal/facility"
 	"autoloop/internal/fleet"
+	"autoloop/internal/hw"
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
@@ -51,10 +51,10 @@ func runX1(opt Options) *Result {
 	for _, v := range variants {
 		engine := sim.NewEngine(opt.Seed)
 		db := tsdb.New(0)
-		ccfg := cluster.DefaultConfig()
+		ccfg := hw.DefaultConfig()
 		ccfg.Nodes = 32
 		ccfg.SensorNoise = 0.01
-		cl := cluster.New(engine, ccfg)
+		cl := hw.New(engine, ccfg)
 		plant := facility.New(engine, facility.DefaultConfig(), cl)
 		plant.BindAmbient(cl)
 		reg := telemetry.NewRegistry()

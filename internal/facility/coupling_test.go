@@ -4,7 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"autoloop/internal/cluster"
+	"autoloop/internal/hw"
 	"autoloop/internal/sim"
 )
 
@@ -13,10 +13,10 @@ import (
 // thermal time constant, steady-state component temperature.
 func TestAmbientCouplingHeatsNodes(t *testing.T) {
 	e := sim.NewEngine(1)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 4
 	ccfg.SensorNoise = 0
-	cl := cluster.New(e, ccfg)
+	cl := hw.New(e, ccfg)
 	plant := New(e, DefaultConfig(), cl)
 	plant.BindAmbient(cl)
 
@@ -49,9 +49,9 @@ func TestAmbientCouplingHeatsNodes(t *testing.T) {
 // TestCouplingWithoutBindIsInert ensures the coupling is opt-in.
 func TestCouplingWithoutBindIsInert(t *testing.T) {
 	e := sim.NewEngine(1)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 2
-	cl := cluster.New(e, ccfg)
+	cl := hw.New(e, ccfg)
 	plant := New(e, DefaultConfig(), cl)
 	ambient := cl.Ambient()
 	plant.SetSupplySetpointC(28)
@@ -64,10 +64,10 @@ func TestCouplingWithoutBindIsInert(t *testing.T) {
 // a higher setpoint costs component margin but saves cooling power.
 func TestEnergyThermalTradeoff(t *testing.T) {
 	e := sim.NewEngine(1)
-	ccfg := cluster.DefaultConfig()
+	ccfg := hw.DefaultConfig()
 	ccfg.Nodes = 8
 	ccfg.SensorNoise = 0
-	cl := cluster.New(e, ccfg)
+	cl := hw.New(e, ccfg)
 	plant := New(e, DefaultConfig(), cl)
 	plant.BindAmbient(cl)
 	for _, n := range cl.UpNodes() {

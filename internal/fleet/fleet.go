@@ -41,6 +41,9 @@ type RoundSummary struct {
 	Planned    int `json:"planned"`
 	Arbitrated int `json:"arbitrated"`
 	Conflicts  int `json:"conflicts"`
+	// Remote counts actions this round that survived local arbitration but
+	// were denied by an external (cross-node) arbiter.
+	Remote int `json:"remote,omitempty"`
 }
 
 // Metrics counts coordinator activity across rounds.
@@ -49,6 +52,20 @@ type Metrics struct {
 	Planned    int // actions planned across all loops
 	Arbitrated int // actions lost to cross-loop arbitration
 	Conflicts  int // conflict groups resolved
+	Remote     int // actions denied by the external (cross-node) arbiter
+}
+
+// ActionDigest summarizes one planned action that survived local arbitration,
+// in the form an external arbiter (a cluster coordinator resolving conflicts
+// across worker processes) needs to decide cross-node contention: who plans
+// what on which subject, at which local priority.
+type ActionDigest struct {
+	Loop       string  `json:"loop"`
+	Kind       string  `json:"kind"`
+	Subject    string  `json:"subject"`
+	Priority   int     `json:"priority"`
+	Amount     float64 `json:"amount,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // member is one registered loop with its arbitration priority and tick
@@ -73,7 +90,17 @@ type Coordinator struct {
 	names   map[string]bool
 	plans   []*core.PlannedTick // reused across rounds
 	metrics Metrics
+
+	// external, when set, is consulted between local arbitration and the
+	// execute phase: it receives digests of the round's surviving actions
+	// and returns a parallel deny mask. See SetExternalArbiter.
+	external func(now time.Duration, digests []ActionDigest) []bool
+	digests  []ActionDigest // reused across rounds
+	digRefs  []digestRef    // reused across rounds
 }
+
+// digestRef locates a digest's action in the round's plan set.
+type digestRef struct{ mi, ai int }
 
 // New returns a coordinator whose plan phase fans out over workers
 // goroutines; workers <= 0 selects GOMAXPROCS. A single worker degenerates to
@@ -95,6 +122,19 @@ func (c *Coordinator) PublishTo(b *bus.Bus, source string) *Coordinator {
 	c.bus = b
 	c.source = source
 	return c
+}
+
+// SetExternalArbiter installs a cross-node arbitration hook, consulted after
+// the local arbiter and before the execute phase of every round that planned
+// at least one subject-bearing action. The hook receives one digest per
+// surviving action and returns a parallel slice; true at index i suppresses
+// digest i's action exactly like a local arbitration loss (the action is
+// audited and counted as arbitrated, and additionally as Metrics.Remote).
+// A nil hook (the default) keeps rounds byte-identical to the single-node
+// coordinator. The hook runs on the tick goroutine and may block — a cluster
+// worker uses it for a digest/verdict round trip with its coordinator.
+func (c *Coordinator) SetExternalArbiter(f func(now time.Duration, digests []ActionDigest) []bool) {
+	c.external = f
 }
 
 // Add registers a loop with an arbitration priority: on a cross-loop conflict
@@ -178,14 +218,16 @@ func (c *Coordinator) Tick(now time.Duration) {
 	for _, cf := range conflicts {
 		arbitrated += len(cf.Losers)
 	}
+	remote := c.arbitrateExternal(now, plans)
 	for i := range c.members {
 		c.members[i].loop.ExecutePlanned(plans[i])
 		plans[i] = nil
 	}
 	c.metrics.Rounds++
 	c.metrics.Planned += planned
-	c.metrics.Arbitrated += arbitrated
+	c.metrics.Arbitrated += arbitrated + remote
 	c.metrics.Conflicts += len(conflicts)
+	c.metrics.Remote += remote
 
 	if c.bus != nil {
 		envs := make([]bus.Envelope, 0, len(conflicts)+1)
@@ -193,10 +235,52 @@ func (c *Coordinator) Tick(now time.Duration) {
 			envs = append(envs, bus.Envelope{Topic: TopicConflict, Time: now, Source: c.source, Payload: cf})
 		}
 		envs = append(envs, bus.Envelope{Topic: TopicRound, Time: now, Source: c.source, Payload: RoundSummary{
-			Round: c.metrics.Rounds, Loops: n, Planned: planned, Arbitrated: arbitrated, Conflicts: len(conflicts),
+			Round: c.metrics.Rounds, Loops: n, Planned: planned, Arbitrated: arbitrated + remote,
+			Conflicts: len(conflicts), Remote: remote,
 		}})
 		c.bus.PublishBatch(envs)
 	}
+}
+
+// arbitrateExternal runs the cross-node arbitration hook over the round's
+// surviving actions and marks denied ones lost. It returns how many actions
+// were denied; with no hook, no actions, or a malformed mask it denies none.
+func (c *Coordinator) arbitrateExternal(now time.Duration, plans []*core.PlannedTick) int {
+	if c.external == nil {
+		return 0
+	}
+	c.digests = c.digests[:0]
+	c.digRefs = c.digRefs[:0]
+	for mi, pt := range plans {
+		for ai, act := range pt.Actions() {
+			if act.Subject == "" || pt.Arbitrated(ai) {
+				continue
+			}
+			c.digests = append(c.digests, ActionDigest{
+				Loop: c.members[mi].loop.Name, Kind: act.Kind, Subject: act.Subject,
+				Priority: c.members[mi].priority, Amount: act.Amount, Confidence: act.Confidence,
+			})
+			c.digRefs = append(c.digRefs, digestRef{mi: mi, ai: ai})
+		}
+	}
+	if len(c.digests) == 0 {
+		return 0
+	}
+	deny := c.external(now, c.digests)
+	if len(deny) != len(c.digests) {
+		return 0 // a malformed verdict fails open: availability over suppression
+	}
+	denied := 0
+	for i, d := range deny {
+		if !d {
+			continue
+		}
+		ref := c.digRefs[i]
+		plans[ref.mi].Arbitrate(ref.ai, fmt.Sprintf(
+			"lost %s to cross-node arbitration", c.digests[i].Subject))
+		denied++
+	}
+	return denied
 }
 
 // pruneStopped honors the lifecycle at the round boundary: draining members

@@ -17,6 +17,7 @@ var controlOps = map[string]Role{
 	control.OpGet:      RoleRead,
 	control.OpCases:    RoleRead,
 	control.OpPending:  RoleRead,
+	control.OpMembers:  RoleRead,
 	control.OpSpawn:    RoleOperator,
 	control.OpPause:    RoleOperator,
 	control.OpResume:   RoleOperator,
@@ -48,8 +49,8 @@ func (g *Gateway) handleControl(w http.ResponseWriter, r *http.Request) {
 	if !g.require(w, r, need) {
 		return
 	}
-	ctl := g.opts.Control
-	if ctl == nil {
+	ctl, cl := g.opts.Control, g.opts.Cluster
+	if ctl == nil && cl == nil {
 		g.httpError(w, http.StatusServiceUnavailable, "control plane not served")
 		return
 	}
@@ -59,6 +60,8 @@ func (g *Gateway) handleControl(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A coordinator gateway routes through the cluster (placement, owner
+	// routing, scatter-gather); otherwise the local control service answers.
 	var rep control.Reply
 	switch op {
 	case control.OpApprove, control.OpDeny:
@@ -69,7 +72,11 @@ func (g *Gateway) handleControl(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		rep = ctl.Verdict(op == control.OpApprove, v)
+		if cl != nil {
+			rep = cl.Verdict(op == control.OpApprove, v)
+		} else {
+			rep = ctl.Verdict(op == control.OpApprove, v)
+		}
 	default:
 		var req control.Request
 		if len(body) > 0 {
@@ -79,7 +86,11 @@ func (g *Gateway) handleControl(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		req.Op = op // the path is authoritative
-		rep = ctl.Handle(req)
+		if cl != nil {
+			rep = cl.Handle(req)
+		} else {
+			rep = ctl.Handle(req)
+		}
 	}
 	status := http.StatusOK
 	if !rep.OK {

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"autoloop/internal/bus"
+	"autoloop/internal/cluster"
 	"autoloop/internal/control"
 	"autoloop/internal/telemetry"
 	"autoloop/internal/tsdb"
@@ -68,14 +69,21 @@ const (
 	RoleOperator
 )
 
-// Options configures a Gateway. Store is required for the query plane;
-// every other field is optional — nil subsystems simply disable their
-// endpoints or metrics rows.
+// Options configures a Gateway. Store (or Cluster, on a coordinator) is
+// required for the query plane; every other field is optional — nil
+// subsystems simply disable their endpoints or metrics rows.
 type Options struct {
-	// Store answers /v1/query. Required.
+	// Store answers /v1/query from a local TSDB. Required unless Cluster is
+	// set.
 	Store Store
-	// Control answers /v1/control/<op>; nil returns 503 there.
+	// Control answers /v1/control/<op>; nil returns 503 there (unless
+	// Cluster serves the control plane instead).
 	Control *control.Service
+	// Cluster, when set, makes this gateway a coordinator front end:
+	// /v1/control/<op> routes through the cluster coordinator (placement,
+	// scatter-gather, members), /v1/query scatter-gathers across workers
+	// when no local Store is present, and /metrics gains the cluster rows.
+	Cluster *cluster.Coordinator
 	// Bus feeds /v1/stream subscriptions and bus metrics; nil returns 503
 	// on /v1/stream.
 	Bus *bus.Bus
@@ -126,8 +134,8 @@ type Gateway struct {
 
 // New builds a gateway over the given subsystems.
 func New(opts Options) *Gateway {
-	if opts.Store == nil {
-		panic("gateway: Options.Store is required")
+	if opts.Store == nil && opts.Cluster == nil {
+		panic("gateway: Options.Store is required (or Options.Cluster on a coordinator)")
 	}
 	g := &Gateway{opts: opts}
 	if opts.Bus != nil {

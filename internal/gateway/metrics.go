@@ -64,6 +64,20 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("bus_wire_dropped_frames_total", srv.DroppedFrames())
 		row("bus_wire_read_errors_total", srv.ReadErrors())
 	}
+	if cl := g.opts.Cluster; cl != nil {
+		cs := cl.Stats()
+		row("cluster_members", cs.Members)
+		row("cluster_members_alive", cs.Alive)
+		row("cluster_specs", cs.Specs)
+		row("cluster_specs_placed", cs.Placed)
+		row("cluster_assigns_total", cs.Assigns)
+		row("cluster_failovers_total", cs.Failovers)
+		row("cluster_lease_expiries_total", cs.LeaseExpiries)
+		row("cluster_fanouts_total", cs.Fanouts)
+		row("cluster_fanout_timeouts_total", cs.FanTimeouts)
+		row("cluster_digests_total", cs.DigestsSeen)
+		row("cluster_digests_denied_total", cs.DigestsDenied)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))

@@ -54,6 +54,16 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A coordinator has no local store: scatter-gather across the workers
+	// and return the merged facility view. Partial coverage stays 200 with
+	// the gap named in err, matching the bus-topic query surface.
+	if g.opts.Store == nil {
+		resp := g.opts.Cluster.Answer(req)
+		resp.ID = "" // HTTP correlates by the exchange itself
+		g.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
 	c, shared := g.flight.do(queryKey(&req), func() (*encoder, error) { return g.encodeQuery(&req) })
 	if shared {
 		g.coalesced.Add(1)

@@ -1,4 +1,4 @@
-// Package cluster models the hardware plane of a simulated HPC system: nodes
+// Package hw models the hardware plane of a simulated HPC system: nodes
 // grouped into racks, with per-node utilization, memory, power, and
 // temperature models, hardware sensors exposed as telemetry collectors, and
 // failure injection.
@@ -7,7 +7,7 @@
 // temperature follows an RC response toward a power-dependent steady state —
 // because the autonomy loops only require signals with realistic structure
 // (correlations across domains, inertia, noise), not cycle-accurate hardware.
-package cluster
+package hw
 
 import (
 	"fmt"

@@ -42,6 +42,10 @@ const (
 	KindBusEnvelope uint8 = 0x20
 	// KindKnowledgeOp carries one JSON-encoded knowledge.Base mutation.
 	KindKnowledgeOp uint8 = 0x30
+	// KindClusterEvent carries one JSON-encoded cluster placement-ledger
+	// event (spec added/removed, assignment, ack, lease expiry) recorded by
+	// a cluster coordinator so a restart can rebuild its placement table.
+	KindClusterEvent uint8 = 0x40
 )
 
 // ErrClosed is returned by operations on a closed WAL.
