@@ -60,3 +60,10 @@ run '^BenchmarkRingOwner$' 100000x ./internal/cluster
 run '^BenchmarkArbiterDecide$' 20000x ./internal/cluster
 run '^BenchmarkScatterGather$/^workers=4$' 500x ./internal/cluster
 run '^BenchmarkClusterFanoutTCP$' 200x ./internal/cluster
+# Resilience plumbing: the backoff schedule draw every redial pays, and the
+# disarmed chaos-conn passthrough — the wrapper must stay ~free when no
+# faults are armed (TestChaosConnDisarmedAllocs gates 0 allocs/op exactly).
+# The armed sub-benchmark is excluded: injected sleeps make it a clock
+# measurement, not a regression signal.
+run '^BenchmarkBackoffSchedule$' 200000x ./internal/chaos
+run '^BenchmarkChaosConn$/^disarmed$' 50000x ./internal/chaos

@@ -21,7 +21,9 @@ package autoloop
 import (
 	"time"
 
+	"autoloop/internal/bus"
 	"autoloop/internal/cases"
+	"autoloop/internal/chaos"
 	"autoloop/internal/control"
 	"autoloop/internal/core"
 	"autoloop/internal/experiments"
@@ -207,3 +209,59 @@ func RunExperiment(id string, seed int64, quick bool) (*Result, error) {
 
 // ExperimentIDs lists every reproduced figure/claim experiment.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// Resilience vocabulary (see internal/chaos, internal/bus, internal/wal):
+// deterministic fault injection for tests, and the production hardening it
+// exercises — jittered redial backoff behind a circuit breaker, and typed
+// retryable-vs-fatal storage faults.
+type (
+	// Backoff is a capped exponential redial schedule with full jitter.
+	Backoff = chaos.Backoff
+	// Breaker is a consecutive-failure circuit breaker with a half-open
+	// probe after its cooldown.
+	Breaker = chaos.Breaker
+	// FaultInjector makes seeded per-frame fault decisions (drop, dup,
+	// reorder, partition, reset, latency) for chaos conns and proxies.
+	FaultInjector = chaos.Injector
+	// Faults declares a network fault schedule for a FaultInjector.
+	Faults = chaos.Faults
+	// ChaosProxy is a frame-aware TCP relay that applies injected faults
+	// between a dialer and its target.
+	ChaosProxy = chaos.Proxy
+	// Reconnector maintains a bridged bus client across link failures
+	// under Backoff + Breaker.
+	Reconnector = bus.Reconnector
+	// ReconnectOptions tunes a Reconnector.
+	ReconnectOptions = bus.ReconnectOptions
+	// WALFaultError is the typed storage fault the WAL surfaces, carrying
+	// the failed op and whether a retry can succeed.
+	WALFaultError = wal.FaultError
+	// WALFS is the filesystem seam the WAL writes through — swap in
+	// chaos.NewFS to inject storage faults deterministically.
+	WALFS = wal.FS
+)
+
+// NewBackoff returns a full-jitter backoff schedule; base/cap <= 0 select
+// the defaults (50ms / 15s).
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	return chaos.NewBackoff(base, cap, seed)
+}
+
+// NewFaultInjector returns a deterministic, seeded fault injector (disarmed
+// until Arm is called with a fault schedule).
+func NewFaultInjector(seed int64) *FaultInjector { return chaos.NewInjector(seed) }
+
+// NewChaosProxy relays framed traffic from listenAddr to target through
+// inj's fault schedule.
+func NewChaosProxy(listenAddr, target string, inj *FaultInjector) (*ChaosProxy, error) {
+	return chaos.NewProxy(listenAddr, target, inj)
+}
+
+// NewReconnector dials a bus bridge and keeps it alive across failures.
+func NewReconnector(addr, exportPattern string, b *bus.Bus, opts ReconnectOptions) (*Reconnector, error) {
+	return bus.NewReconnector(addr, exportPattern, b, opts)
+}
+
+// WALRetryable reports whether a WAL append error is transient backpressure
+// (shed and retry later) as opposed to a fatal storage fault (halt).
+func WALRetryable(err error) bool { return wal.Retryable(err) }

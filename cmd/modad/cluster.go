@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +51,7 @@ type clusterConfig struct {
 	ClusterAddr string // coordinator: address workers join
 	Node        string // worker: unique node name
 	Lease       time.Duration
+	Grace       time.Duration // suspect window past the lease before failover
 	Heartbeat   time.Duration
 	ArbWindow   time.Duration
 }
@@ -92,6 +94,7 @@ func runCoordinator(cfg clusterConfig) error {
 	coord := cluster.NewCoordinator(b, cluster.Options{
 		Source:    "coordinator",
 		Lease:     cfg.Lease,
+		Grace:     cfg.Grace,
 		ArbWindow: cfg.ArbWindow,
 		Registry:  cases.NewRegistry(),
 		Ledger:    w,
@@ -194,8 +197,9 @@ loop:
 		}
 	}
 	s := coord.Stats()
-	fmt.Printf("modad: coordinator done; %d members (%d alive), %d specs (%d placed), %d assigns, %d failovers, %d fanouts, %d digests (%d denied)\n",
-		s.Members, s.Alive, s.Specs, s.Placed, s.Assigns, s.Failovers, s.Fanouts, s.DigestsSeen, s.DigestsDenied)
+	fmt.Printf("modad: coordinator done; %d members (%d alive, %d suspect), %d specs (%d placed), %d assigns, %d failovers, %d fanouts (%d partial), %d digests (%d denied, %d backfilled), %d ledger faults\n",
+		s.Members, s.Alive, s.Suspect, s.Specs, s.Placed, s.Assigns, s.Failovers,
+		s.Fanouts, s.ScatterPartials, s.DigestsSeen, s.DigestsDenied, s.DigestsBackfilled, s.LedgerFaults)
 	return nil
 }
 
@@ -281,11 +285,27 @@ func runWorker(cfg clusterConfig) error {
 		}
 	}
 
-	client, err := bus.Dial(cfg.Join, cluster.WorkerExportPattern, b)
+	// The bridge link is maintained by a Reconnector: a dropped link is
+	// redialed under capped exponential backoff with full jitter (a fleet of
+	// workers redialing a restarted coordinator spreads out instead of
+	// arriving in lockstep), behind a circuit breaker that slows probing to
+	// its cooldown once the coordinator has been dead for a while. Link
+	// transitions feed the agent's degraded mode: while the coordinator is
+	// unreachable the loops keep ticking under local fail-open arbitration,
+	// and on rejoin the agent re-Hellos and backfills its buffered digests.
+	var agentRef atomic.Pointer[cluster.Agent]
+	rc, err := bus.NewReconnector(cfg.Join, cluster.WorkerExportPattern, b, bus.ReconnectOptions{
+		OnState: func(up bool) {
+			if a := agentRef.Load(); a != nil {
+				a.SetLinkState(up)
+			}
+		},
+		Logf: func(format string, args ...any) { fmt.Printf("modad: "+format+"\n", args...) },
+	})
 	if err != nil {
 		return fmt.Errorf("join %s: %w", cfg.Join, err)
 	}
-	defer func() { client.Close() }()
+	defer rc.Close()
 
 	agent, err := cluster.NewAgent(b, ctl, svc, cluster.AgentOptions{
 		ID:        id,
@@ -293,11 +313,13 @@ func runWorker(cfg clusterConfig) error {
 		Stats: func() (int, uint64, int) {
 			return db.NumSeries(), db.Appended(), coord.Metrics().Rounds
 		},
+		Logf: func(format string, args ...any) { fmt.Printf("modad: "+format+"\n", args...) },
 	})
 	if err != nil {
 		return err
 	}
 	defer agent.Close()
+	agentRef.Store(agent)
 	fmt.Printf("modad: worker %s joined coordinator at %s (speed %dx)\n", id, cfg.Join, cfg.Speed)
 
 	sigs := make(chan os.Signal, 1)
@@ -307,7 +329,6 @@ func runWorker(cfg clusterConfig) error {
 	start := time.Now()
 	tick := time.NewTicker(250 * time.Millisecond)
 	defer tick.Stop()
-	var lastRedial time.Time
 loop:
 	for {
 		select {
@@ -317,17 +338,6 @@ loop:
 				break loop
 			}
 			engine.RunUntil(vbase + time.Duration(int64(wall)*int64(cfg.Speed)))
-			// A dead bridge (coordinator restarted, network blip) is redialed
-			// with ~1s backoff; the agent's periodic re-Hello re-registers the
-			// worker and reconciles its held groups once the link is back.
-			if client.Err() != nil && time.Since(lastRedial) >= time.Second {
-				lastRedial = time.Now()
-				if nc, err := bus.Dial(cfg.Join, cluster.WorkerExportPattern, b); err == nil {
-					client.Close()
-					client = nc
-					fmt.Printf("modad: worker %s rejoined coordinator at %s\n", id, cfg.Join)
-				}
-			}
 		case sig := <-sigs:
 			fmt.Printf("modad: %v: shutting down\n", sig)
 			break loop
@@ -336,7 +346,10 @@ loop:
 
 	agent.Close()
 	cm := coord.Metrics()
-	fmt.Printf("modad: worker %s done; %d series, %d samples stored; fleet ran %d rounds (%d actions, %d arbitrated, %d remote-denied)\n",
-		id, db.NumSeries(), db.Appended(), cm.Rounds, cm.Planned, cm.Arbitrated, cm.Remote)
+	am := agent.Metrics()
+	dials, failures, drops := rc.Stats()
+	fmt.Printf("modad: worker %s done; %d series, %d samples stored; fleet ran %d rounds (%d actions, %d arbitrated, %d remote-denied); link: %d dials (%d failed, %d drops), %d degraded spells (%d rounds, %d digests backfilled)\n",
+		id, db.NumSeries(), db.Appended(), cm.Rounds, cm.Planned, cm.Arbitrated, cm.Remote,
+		dials, failures, drops, am.DegradedEntries, am.DegradedRounds, am.DigestsBackfilled)
 	return nil
 }

@@ -131,7 +131,8 @@ func run() error {
 	join := flag.String("join", "", "worker: coordinator cluster address to join (required with -role=worker)")
 	clusterAddr := flag.String("cluster-addr", "127.0.0.1:7677", "coordinator: TCP address workers join")
 	node := flag.String("node", "", "worker: unique node name (default <hostname>-<pid>)")
-	leaseTTL := flag.Duration("lease", cluster.DefaultLeaseTTL, "coordinator: worker lease TTL before failover")
+	leaseTTL := flag.Duration("lease", cluster.DefaultLeaseTTL, "coordinator: worker lease TTL before a worker turns suspect")
+	leaseGrace := flag.Duration("lease-grace", 0, "coordinator: suspect window past the lease before failover (0 = one extra lease, negative = none)")
 	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeat, "worker: lease-renewal period")
 	arbWindow := flag.Duration("arb-window", cluster.DefaultArbWindow, "coordinator: cross-node arbitration grant window")
 	flag.Parse()
@@ -146,7 +147,7 @@ func run() error {
 			Speed: *speed, Duration: *duration, SpecsPath: *specsPath,
 			WALDir: *walDir, Fsync: *fsyncMode,
 			Join: *join, ClusterAddr: *clusterAddr, Node: *node,
-			Lease: *leaseTTL, Heartbeat: *heartbeat, ArbWindow: *arbWindow,
+			Lease: *leaseTTL, Grace: *leaseGrace, Heartbeat: *heartbeat, ArbWindow: *arbWindow,
 		}
 		switch *role {
 		case "coordinator":
@@ -323,9 +324,19 @@ func run() error {
 
 		db.Journal(w)
 		kb.Journal(w)
+		// The bus audit trail is best-effort, with a shed-then-halt policy on
+		// storage faults: a retryable fault (a full disk, a short write, a
+		// backlogged group commit — wal.Retryable) sheds the envelope and
+		// keeps going, since the WAL retries its buffered tail on the next
+		// append; a fatal fault (a failed fsync: the kernel may have dropped
+		// dirty pages and will not say so twice) halts journaling for good —
+		// logging one line, not a corrupt trail. Loop state and telemetry
+		// journaling are unaffected; their appends surface errors on their
+		// own paths.
 		var lastJournalErr atomic.Int64 // unix nanos of the last logged failure
+		var journalHalted atomic.Bool
 		b.Journal(func(env bus.Envelope) {
-			if !journaledTopic(env.Topic) {
+			if journalHalted.Load() || !journaledTopic(env.Topic) {
 				return
 			}
 			line, err := bus.Encode(env)
@@ -333,11 +344,16 @@ func run() error {
 				_, err = w.Append(wal.KindBusEnvelope, line)
 			}
 			if err != nil {
+				if !wal.Retryable(err) {
+					journalHalted.Store(true)
+					fmt.Fprintf(os.Stderr, "modad: bus journal halted on fatal WAL fault: %v\n", err)
+					return
+				}
 				// Rate-limited to 1/s: a broken audit trail must surface
 				// while the daemon runs, not via the sticky error at Close.
 				if now := time.Now().UnixNano(); now-lastJournalErr.Load() >= int64(time.Second) {
 					lastJournalErr.Store(now)
-					fmt.Fprintf(os.Stderr, "modad: bus journal %s: %v\n", env.Topic, err)
+					fmt.Fprintf(os.Stderr, "modad: bus journal shed %s: %v\n", env.Topic, err)
 				}
 			}
 		})

@@ -1,0 +1,190 @@
+package bus
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoloop/internal/chaos"
+)
+
+// ReconnectOptions tunes a Reconnector. The zero value gives the default
+// full-jitter backoff (50ms..15s) and a 5-failure/10s-cooldown breaker.
+type ReconnectOptions struct {
+	// Backoff is the redial schedule; nil gets the chaos package defaults
+	// seeded from the wall clock.
+	Backoff *chaos.Backoff
+	// Breaker gates redials once the peer looks dead; nil gets defaults.
+	// Set to a Breaker with Threshold<0 semantics is not supported — pass
+	// a generous Threshold instead.
+	Breaker *chaos.Breaker
+	// OnState, when non-nil, is called with true after each successful
+	// (re)connect and false when an established link drops — the hook a
+	// worker uses to enter and leave degraded mode. It is called from the
+	// reconnector's goroutine; keep it brief.
+	OnState func(up bool)
+	// Logf, when non-nil, receives one line per state change and redial
+	// failure.
+	Logf func(format string, args ...any)
+}
+
+// Reconnector maintains a bridged Client to one Server across failures:
+// when the link drops it redials under capped exponential backoff with
+// full jitter, behind a circuit breaker that slows probing to the breaker
+// cooldown once the peer has been dead for a while. This replaces the
+// fixed-interval redial throttle the worker loop started with — a fleet of
+// workers redialing a restarted coordinator now spreads over the jitter
+// window instead of arriving in lockstep.
+type Reconnector struct {
+	addr    string
+	pattern string
+	bus     *Bus
+	opts    ReconnectOptions
+
+	mu     sync.Mutex
+	client *Client
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	dials    atomic.Uint64 // dial attempts, successful or not
+	failures atomic.Uint64 // failed dial attempts
+	drops    atomic.Uint64 // established links that died
+}
+
+// NewReconnector dials addr immediately — returning the first error so
+// callers keep their fail-fast startup — and then maintains the link until
+// Close.
+func NewReconnector(addr, exportPattern string, b *Bus, opts ReconnectOptions) (*Reconnector, error) {
+	if opts.Backoff == nil {
+		opts.Backoff = chaos.NewBackoff(0, 0, time.Now().UnixNano())
+	}
+	if opts.Breaker == nil {
+		opts.Breaker = &chaos.Breaker{}
+	}
+	r := &Reconnector{addr: addr, pattern: exportPattern, bus: b, opts: opts, stop: make(chan struct{})}
+	r.dials.Add(1)
+	c, err := Dial(addr, exportPattern, b)
+	if err != nil {
+		r.failures.Add(1)
+		return nil, err
+	}
+	opts.Breaker.Success()
+	r.client = c
+	if opts.OnState != nil {
+		opts.OnState(true)
+	}
+	r.wg.Add(1)
+	go r.run(c)
+	return r, nil
+}
+
+// Client returns the current client (nil between connections). The client
+// may die at any moment; callers publish through the bus, not the client,
+// so this is only for introspection.
+func (r *Reconnector) Client() *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.client
+}
+
+// Stats reports dial attempts, failed attempts, and dropped links.
+func (r *Reconnector) Stats() (dials, failures, drops uint64) {
+	return r.dials.Load(), r.failures.Load(), r.drops.Load()
+}
+
+// Close stops reconnecting and closes the live client, if any.
+func (r *Reconnector) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	c := r.client
+	r.mu.Unlock()
+	close(r.stop)
+	if c != nil {
+		c.Close()
+	}
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Reconnector) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// run watches the live client and redials when it dies.
+func (r *Reconnector) run(c *Client) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-c.Done():
+		}
+		r.drops.Add(1)
+		if err := c.Err(); err != nil {
+			r.logf("bus: link to %s dropped: %v", r.addr, err)
+		} else {
+			r.logf("bus: link to %s closed by peer", r.addr)
+		}
+		r.mu.Lock()
+		r.client = nil
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		if r.opts.OnState != nil {
+			r.opts.OnState(false)
+		}
+		c = r.redial()
+		if c == nil {
+			return // Close raced the redial loop
+		}
+		if r.opts.OnState != nil {
+			r.opts.OnState(true)
+		}
+	}
+}
+
+// redial loops under backoff+breaker until a dial lands or Close wins.
+func (r *Reconnector) redial() *Client {
+	bo, brk := r.opts.Backoff, r.opts.Breaker
+	for {
+		if brk.Allow() {
+			r.dials.Add(1)
+			c, err := Dial(r.addr, r.pattern, r.bus)
+			if err == nil {
+				bo.Reset()
+				brk.Success()
+				r.mu.Lock()
+				if r.closed {
+					r.mu.Unlock()
+					c.Close()
+					return nil
+				}
+				r.client = c
+				r.mu.Unlock()
+				r.logf("bus: link to %s re-established after %d attempts", r.addr, r.failures.Load())
+				return c
+			}
+			r.failures.Add(1)
+			brk.Failure()
+			if brk.State() == "open" {
+				r.logf("bus: breaker open for %s after repeated dial failures", r.addr)
+			}
+		}
+		t := time.NewTimer(bo.Next())
+		select {
+		case <-r.stop:
+			t.Stop()
+			return nil
+		case <-t.C:
+		}
+	}
+}

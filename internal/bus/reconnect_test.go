@@ -1,0 +1,120 @@
+package bus
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"autoloop/internal/chaos"
+)
+
+// TestReconnectorSurvivesServerRestart drops the server out from under a
+// Reconnector and verifies the link heals on the same address, with the
+// down/up transitions reported in order and the backoff schedule reset by
+// the success.
+func TestReconnectorSurvivesServerRestart(t *testing.T) {
+	serverBus := New()
+	srv, err := NewServer("127.0.0.1:0", "*", serverBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var mu sync.Mutex
+	var states []bool
+	bo := chaos.NewBackoff(5*time.Millisecond, 50*time.Millisecond, 1)
+	clientBus := New()
+	rc, err := NewReconnector(addr, "*", clientBus, ReconnectOptions{
+		Backoff: bo,
+		// The fast test backoff burns through the default breaker's
+		// threshold within the outage; keep the breaker out of this
+		// test's way (it has its own below).
+		Breaker: &chaos.Breaker{Threshold: 1 << 20},
+		OnState: func(up bool) {
+			mu.Lock()
+			states = append(states, up)
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	srv.Close() // the outage: every conn dies, the port closes
+
+	// Hold the port down long enough for several failed redials, then
+	// restart on the same address.
+	time.Sleep(100 * time.Millisecond)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	ln.Close()
+	srv2, err := NewServer(addr, "*", serverBus)
+	if err != nil {
+		t.Fatalf("restart server: %v", err)
+	}
+	defer srv2.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rc.Client() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("reconnector never healed the link")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	dials, failures, drops := rc.Stats()
+	if drops != 1 {
+		t.Fatalf("drops = %d, want 1", drops)
+	}
+	if failures == 0 || dials < failures+2 {
+		t.Fatalf("dials=%d failures=%d: want failed redials during the outage and 2 successes", dials, failures)
+	}
+	if bo.Attempt() != 0 {
+		t.Fatalf("backoff attempt = %d after success, want reset to 0", bo.Attempt())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(states) < 3 || !states[0] || states[1] || !states[len(states)-1] {
+		t.Fatalf("state transitions = %v, want up, down, ..., up", states)
+	}
+}
+
+// TestReconnectorBreakerSlowsDeadPeer checks the breaker trips after the
+// threshold and refuses dials during its cooldown.
+func TestReconnectorBreakerSlowsDeadPeer(t *testing.T) {
+	serverBus := New()
+	srv, err := NewServer("127.0.0.1:0", "*", serverBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	brk := &chaos.Breaker{Threshold: 3, Cooldown: time.Hour}
+	rc, err := NewReconnector(addr, "*", New(), ReconnectOptions{
+		Backoff: chaos.NewBackoff(time.Millisecond, 2*time.Millisecond, 1),
+		Breaker: brk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	srv.Close() // peer dies for good
+
+	deadline := time.Now().Add(5 * time.Second)
+	for brk.State() != "open" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker state = %s, never tripped", brk.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, failuresAtTrip, _ := rc.Stats()
+	time.Sleep(50 * time.Millisecond) // many backoff periods inside the cooldown
+	_, failuresLater, _ := rc.Stats()
+	if failuresLater > failuresAtTrip+1 {
+		t.Fatalf("breaker open but dials kept flowing: %d -> %d", failuresAtTrip, failuresLater)
+	}
+}

@@ -204,6 +204,7 @@ type Client struct {
 	conn   net.Conn
 	bus    *Bus
 	cancel func()
+	done   chan struct{}
 	mu     sync.Mutex
 	closed bool
 	err    error
@@ -215,11 +216,16 @@ func Dial(addr, exportPattern string, b *Bus) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, bus: b}
+	c := &Client{conn: conn, bus: b, done: make(chan struct{})}
 	c.cancel = b.Subscribe(exportPattern, c.send)
 	go c.readLoop()
 	return c, nil
 }
+
+// Done returns a channel closed when the client's read loop ends — the
+// connection died (check Err for why) or Close was called. Reconnectors
+// select on it instead of polling Err.
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 // Close disconnects the client.
 func (c *Client) Close() error {
@@ -258,6 +264,7 @@ func (c *Client) send(env Envelope) {
 }
 
 func (c *Client) readLoop() {
+	defer close(c.done)
 	sc := bufio.NewScanner(c.conn)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	for sc.Scan() {

@@ -1,0 +1,209 @@
+// Package chaos is the deterministic fault-injection layer under the
+// daemon's resilience tests — and the home of the small retry primitives
+// the production paths share with it. It wraps the real transports and
+// storage the system already uses: a net.Conn/net.Listener shim injecting
+// latency, jitter, bandwidth caps and mid-stream resets; a frame-aware TCP
+// proxy that drops, duplicates, reorders and partitions newline-delimited
+// bus frames on a seeded schedule; and a wal.FS implementation simulating
+// short writes, fsync failures and ENOSPC. Everything is seed-driven and
+// clock-hookable, so a chaos schedule replays byte-identically, and
+// everything is disarmable at run time with ~zero overhead when disarmed
+// (one atomic load on the hot path).
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default backoff schedule: first retry within 50ms, ceiling 15s — fast
+// enough that a worker rejoins promptly after a blip, slow enough that a
+// dead coordinator is not hammered.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffCap  = 15 * time.Second
+)
+
+// Backoff is capped exponential backoff with full jitter: attempt n draws
+// a delay uniformly from [0, min(Cap, Base<<n)). Full jitter (the schedule
+// AWS popularized) desynchronizes a fleet of reconnecting workers — after
+// a coordinator restart the redial storm spreads across the whole window
+// instead of arriving in lockstep waves. A Backoff is safe for concurrent
+// use; each successful connection should call Reset so the next outage
+// starts the schedule over.
+type Backoff struct {
+	base time.Duration
+	cap  time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a Backoff drawing jitter from a private seeded
+// source. base and cap fall back to DefaultBackoffBase/DefaultBackoffCap
+// when <= 0.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to sleep before the next attempt and advances the
+// schedule. The first call after New or Reset draws from [0, base).
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ceil := b.ceilingLocked()
+	if b.attempt < 63 {
+		b.attempt++
+	}
+	if ceil <= 1 {
+		return ceil
+	}
+	return time.Duration(b.rng.Int63n(int64(ceil)))
+}
+
+// ceilingLocked computes min(cap, base<<attempt) without overflow.
+func (b *Backoff) ceilingLocked() time.Duration {
+	ceil := b.base
+	for i := 0; i < b.attempt; i++ {
+		ceil <<= 1
+		if ceil >= b.cap || ceil <= 0 {
+			return b.cap
+		}
+	}
+	if ceil > b.cap {
+		return b.cap
+	}
+	return ceil
+}
+
+// Reset restarts the schedule; call it after a successful attempt.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Attempt returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker for redial loops. While
+// closed every attempt is allowed; Threshold consecutive failures trip it
+// open, during which Allow refuses attempts outright; after Cooldown one
+// half-open probe is allowed — its Success closes the breaker, its Failure
+// re-opens it for another Cooldown. The point over bare backoff: once the
+// peer is known-dead the worker stops burning dials (and log lines) at the
+// backoff cap and probes at the slower cooldown cadence instead.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 10s).
+	Cooldown time.Duration
+	// Now is the clock hook (default time.Now) so virtual-clock tests can
+	// drive the cooldown deterministically.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 10 * time.Second
+}
+
+// Allow reports whether an attempt may proceed right now. An open breaker
+// whose cooldown has elapsed transitions to half-open and allows exactly
+// one probe; further attempts are refused until Success or Failure settles
+// the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown() {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful attempt, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed attempt, tripping the breaker at Threshold
+// consecutive failures (and immediately when a half-open probe fails).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold() {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// State reports "closed", "open", or "half-open" (for logs and tests).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

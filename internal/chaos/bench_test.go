@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkBackoffSchedule prices one Next draw — the redial loop's
+// per-attempt cost.
+func BenchmarkBackoffSchedule(b *testing.B) {
+	bo := NewBackoff(0, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bo.Next()
+		if i%16 == 15 {
+			bo.Reset()
+		}
+	}
+}
+
+// discardConn is a no-op net.Conn so the benchmark prices only the chaos
+// wrapper, not a kernel socket.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Read(p []byte) (int, error)       { return len(p), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// BenchmarkChaosConn prices a Write through the wrapper. The disarmed case
+// is the production overhead bound: one atomic load over the raw conn.
+func BenchmarkChaosConn(b *testing.B) {
+	payload := make([]byte, 256)
+	b.Run("disarmed", func(b *testing.B) {
+		c := WrapConn(discardConn{}, NewInjector(1))
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("armed-shaping", func(b *testing.B) {
+		inj := NewInjector(1)
+		inj.Sleep = func(time.Duration) {}
+		inj.Arm(Faults{Latency: time.Microsecond})
+		c := WrapConn(discardConn{}, inj)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestChaosConnDisarmedAllocs pins the disarmed hot path at zero
+// allocations — the wrapper must be free when no faults are armed.
+func TestChaosConnDisarmedAllocs(t *testing.T) {
+	c := WrapConn(discardConn{}, NewInjector(1))
+	payload := make([]byte, 256)
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := c.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("disarmed chaos conn write allocates %v per op, want 0", n)
+	}
+}

@@ -1,0 +1,263 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestBackoffCapAndGrowth(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 1)
+	// Ceilings double 10ms→20→40→80 and then stay capped.
+	wantCeil := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, c := range wantCeil {
+		ceil := c * time.Millisecond
+		d := b.Next()
+		if d < 0 || d >= ceil {
+			t.Fatalf("attempt %d: delay %v outside [0, %v)", i, d, ceil)
+		}
+	}
+	if got := b.Attempt(); got != len(wantCeil) {
+		t.Fatalf("Attempt() = %d, want %d", got, len(wantCeil))
+	}
+}
+
+func TestBackoffResetOnSuccess(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, time.Second, 7)
+	for i := 0; i < 8; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if got := b.Attempt(); got != 0 {
+		t.Fatalf("Attempt() after Reset = %d, want 0", got)
+	}
+	// Back to the first-attempt ceiling.
+	for i := 0; i < 50; i++ {
+		if d := b.Next(); d >= 10*time.Millisecond {
+			t.Fatalf("post-reset delay %v >= base ceiling", d)
+		}
+		b.Reset()
+	}
+}
+
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	a := NewBackoff(0, 0, 42)
+	b := NewBackoff(0, 0, 42)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	br := &Breaker{Threshold: 3, Cooldown: time.Minute, Now: func() time.Time { return now }}
+	for i := 0; i < 2; i++ {
+		if !br.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		br.Failure()
+	}
+	if br.State() != "closed" {
+		t.Fatalf("state below threshold = %s, want closed", br.State())
+	}
+	br.Failure() // third consecutive failure trips it
+	if br.State() != "open" {
+		t.Fatalf("state at threshold = %s, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker allowed an attempt before cooldown")
+	}
+	now = now.Add(time.Minute) // cooldown elapses → one half-open probe
+	if !br.Allow() {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	if br.Allow() {
+		t.Fatal("breaker allowed a second concurrent probe")
+	}
+	br.Failure() // failed probe re-opens
+	if br.State() != "open" || br.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	now = now.Add(time.Minute)
+	if !br.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	br.Success()
+	if br.State() != "closed" || !br.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// proxyPair starts an echo-less sink server and a chaos proxy in front of
+// it, returning a dialed client conn and a scanner over what the sink
+// received.
+func proxyHarness(t *testing.T, inj *Injector) (net.Conn, *bufio.Scanner, *Proxy) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	received := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			received <- c
+		}
+	}()
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	client, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	var sink net.Conn
+	select {
+	case sink = <-received:
+	case <-time.After(2 * time.Second):
+		t.Fatal("proxy never dialed the target")
+	}
+	t.Cleanup(func() { sink.Close() })
+	return client, bufio.NewScanner(sink), p
+}
+
+func TestProxyPassthroughWhenDisarmed(t *testing.T) {
+	inj := NewInjector(1)
+	client, sc, _ := proxyHarness(t, inj)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(client, "frame-%d\n", i)
+	}
+	for i := 0; i < 10; i++ {
+		if !sc.Scan() {
+			t.Fatalf("sink stream ended after %d frames", i)
+		}
+		if want := fmt.Sprintf("frame-%d", i); sc.Text() != want {
+			t.Fatalf("frame %d = %q, want %q", i, sc.Text(), want)
+		}
+	}
+}
+
+func TestProxyDropAndDup(t *testing.T) {
+	inj := NewInjector(99)
+	inj.Arm(Faults{DropRate: 0.5})
+	client, sc, _ := proxyHarness(t, inj)
+	const sent = 400
+	go func() {
+		for i := 0; i < sent; i++ {
+			fmt.Fprintf(client, "frame-%d\n", i)
+		}
+		client.Close()
+	}()
+	got := 0
+	for sc.Scan() {
+		got++
+	}
+	dropped, _, _, _ := inj.Counters()
+	if int(dropped) != sent-got {
+		t.Fatalf("dropped counter %d but %d frames missing", dropped, sent-got)
+	}
+	// 50% loss over 400 frames: expect well inside (100, 300).
+	if got < 100 || got > 300 {
+		t.Fatalf("got %d of %d frames through a 50%% drop, outside plausible band", got, sent)
+	}
+}
+
+func TestProxyPartitionOneWay(t *testing.T) {
+	inj := NewInjector(3)
+	inj.Arm(Faults{PartitionToTarget: true})
+	client, sc, _ := proxyHarness(t, inj)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(client, "lost-%d\n", i)
+	}
+	// Heal only after the relay has demonstrably dropped all five — the
+	// writes above race the proxy's relay goroutine.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if dropped, _, _, _ := inj.Counters(); dropped >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("relay never consumed the partitioned frames")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inj.Disarm()
+	fmt.Fprintf(client, "healed\n")
+	if !sc.Scan() {
+		t.Fatal("sink stream ended")
+	}
+	if sc.Text() != "healed" {
+		t.Fatalf("first frame after heal = %q, want %q (partitioned frames must vanish)", sc.Text(), "healed")
+	}
+}
+
+func TestProxyInjectedReset(t *testing.T) {
+	inj := NewInjector(5)
+	inj.Arm(Faults{ResetAfter: 3})
+	client, sc, _ := proxyHarness(t, inj)
+	go func() {
+		for i := 0; i < 10; i++ {
+			if _, err := fmt.Fprintf(client, "frame-%d\n", i); err != nil {
+				return
+			}
+		}
+	}()
+	got := 0
+	for sc.Scan() {
+		got++
+	}
+	if got > 2 {
+		t.Fatalf("sink saw %d frames past a reset-after-3 schedule", got)
+	}
+	if _, _, _, resets := inj.Counters(); resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+}
+
+func TestConnDisarmedPassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	inj := NewInjector(1)
+	ca := WrapConn(a, inj)
+	go ca.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := b.Read(buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+}
+
+func TestConnPartitionBlackholesWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	inj := NewInjector(1)
+	inj.Arm(Faults{PartitionToTarget: true})
+	ca := WrapConn(a, inj)
+	// net.Pipe is unbuffered: an actually-forwarded write would block with
+	// no reader, so an immediate successful return proves the blackhole.
+	done := make(chan error, 1)
+	go func() {
+		n, err := ca.Write([]byte("swallowed"))
+		if err == nil && n != 9 {
+			err = fmt.Errorf("short blackhole write %d", n)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("partitioned write blocked instead of blackholing")
+	}
+}

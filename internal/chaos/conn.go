@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+)
+
+// ErrInjectedReset is the error surfaced by a Conn whose injector decided
+// to cut the stream mid-flight.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Conn wraps a net.Conn with byte-stream fault injection: latency, jitter,
+// and bandwidth shaping on both directions, outbound blackholing during a
+// PartitionToTarget, and mid-stream resets. Frame-granular faults (drop,
+// duplicate, reorder) need message boundaries and live in Proxy. When the
+// injector is disarmed a Conn is a transparent passthrough costing one
+// atomic load per call.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn attaches an injector to a connection.
+func WrapConn(c net.Conn, inj *Injector) *Conn { return &Conn{Conn: c, inj: inj} }
+
+// Read applies latency/jitter/bandwidth shaping to received bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.inj.Armed() {
+		delay, reset := c.inj.opDelay(n)
+		if delay > 0 {
+			c.inj.Sleep(delay)
+		}
+		if reset {
+			c.Conn.Close()
+			return n, ErrInjectedReset
+		}
+	}
+	return n, err
+}
+
+// Write applies shaping, blackholes the bytes during an outbound
+// partition (the write "succeeds" but nothing is sent — the peer's view
+// of a one-way partition), and injects resets.
+func (c *Conn) Write(p []byte) (int, error) {
+	if !c.inj.Armed() {
+		return c.Conn.Write(p)
+	}
+	delay, reset := c.inj.opDelay(len(p))
+	if delay > 0 {
+		c.inj.Sleep(delay)
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if c.inj.partitioned(true) {
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// injector.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// WrapListener attaches an injector to a listener.
+func WrapListener(l net.Listener, inj *Injector) *Listener {
+	return &Listener{Listener: l, inj: inj}
+}
+
+// Accept wraps the accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}

@@ -24,8 +24,14 @@ type Options struct {
 	// Source tags outbound envelopes (defaults to "coordinator").
 	Source string
 	// Lease is the worker lease window (default DefaultLeaseTTL): a worker
-	// silent for longer is declared dead and its loops fail over.
+	// silent for longer turns suspect, and past Lease+Grace is declared
+	// dead and its loops fail over.
 	Lease time.Duration
+	// Grace is the suspect window between "worker slow" and "worker dead":
+	// a suspect worker keeps its ring position and loops, and a heartbeat
+	// arriving within the window re-acquires the lease without re-Hello
+	// churn. 0 selects one extra lease window; negative disables the tier.
+	Grace time.Duration
 	// Replicas is the consistent-hash virtual-point count per worker
 	// (default DefaultReplicas).
 	Replicas int
@@ -48,18 +54,23 @@ type Options struct {
 
 // Stats is a snapshot of the coordinator's counters.
 type Stats struct {
-	Members       int    // directory entries (alive + expired)
-	Alive         int    // alive workers
-	Specs         int    // specs in the placement table
-	Placed        int    // specs acked by their worker
-	Unplaced      int    // specs pending, in flight, or failed
-	Assigns       uint64 // assignments sent (incl. re-sends and failovers)
-	Failovers     uint64 // placements moved off an expired worker
-	LeaseExpiries uint64 // worker leases expired
-	Fanouts       uint64 // scatter-gather requests fanned out
-	FanTimeouts   uint64 // scatters that hit the timeout with replies missing
-	DigestsSeen   uint64 // arbitration digests processed
-	DigestsDenied uint64 // digest actions denied cross-node
+	Members           int    // directory entries (alive + suspect + expired)
+	Alive             int    // fully-alive workers
+	Suspect           int    // workers in the lease grace tier ("slow, not dead")
+	Specs             int    // specs in the placement table
+	Placed            int    // specs acked by their worker
+	Unplaced          int    // specs pending, in flight, or failed
+	Assigns           uint64 // assignments sent (incl. re-sends and failovers)
+	Failovers         uint64 // placements moved off an expired worker
+	LeaseExpiries     uint64 // worker leases expired
+	SuspectEvents     uint64 // alive→suspect lease transitions
+	Fanouts           uint64 // scatter-gather requests fanned out
+	FanTimeouts       uint64 // scatters that hit the timeout with replies missing
+	ScatterPartials   uint64 // scatters answered with partial coverage
+	DigestsSeen       uint64 // arbitration digests processed
+	DigestsDenied     uint64 // digest actions denied cross-node
+	DigestsBackfilled uint64 // stale digests re-delivered by rejoining workers
+	LedgerFaults      uint64 // placement-ledger appends that failed
 }
 
 // placement is one spec's placement record.
@@ -100,10 +111,13 @@ type Coordinator struct {
 	byLoop map[string]string     // loop name -> group (from acks)
 	nextID uint64
 
-	assigns   atomic.Uint64
-	failovers atomic.Uint64
-	expiries  atomic.Uint64
-	digests   atomic.Uint64
+	assigns      atomic.Uint64
+	failovers    atomic.Uint64
+	expiries     atomic.Uint64
+	suspects     atomic.Uint64
+	digests      atomic.Uint64
+	backfilled   atomic.Uint64
+	ledgerFaults atomic.Uint64
 
 	cancels []func()
 }
@@ -122,7 +136,7 @@ func NewCoordinator(b *bus.Bus, opts Options) *Coordinator {
 		b:       b,
 		opts:    opts,
 		ring:    NewRing(opts.Replicas),
-		dir:     NewDirectory(opts.Lease),
+		dir:     NewDirectory(opts.Lease, opts.Grace),
 		arb:     NewArbiter(opts.ArbWindow),
 		scatter: newScatter(b, opts.Source, opts.ScatterTimeout),
 		specs:   make(map[string]*placement),
@@ -161,18 +175,25 @@ func (c *Coordinator) Stats() Stats {
 	now := time.Now()
 	views := c.dir.snapshot(now)
 	s := Stats{
-		Members:       len(views),
-		Assigns:       c.assigns.Load(),
-		Failovers:     c.failovers.Load(),
-		LeaseExpiries: c.expiries.Load(),
-		Fanouts:       c.scatter.fanned.Load(),
-		FanTimeouts:   c.scatter.timeous.Load(),
-		DigestsSeen:   c.digests.Load(),
-		DigestsDenied: c.arb.Denied(),
+		Members:           len(views),
+		Assigns:           c.assigns.Load(),
+		Failovers:         c.failovers.Load(),
+		LeaseExpiries:     c.expiries.Load(),
+		SuspectEvents:     c.suspects.Load(),
+		Fanouts:           c.scatter.fanned.Load(),
+		FanTimeouts:       c.scatter.timeous.Load(),
+		ScatterPartials:   c.scatter.partials.Load(),
+		DigestsSeen:       c.digests.Load(),
+		DigestsDenied:     c.arb.Denied(),
+		DigestsBackfilled: c.backfilled.Load(),
+		LedgerFaults:      c.ledgerFaults.Load(),
 	}
 	for _, v := range views {
-		if !v.expired {
+		switch v.state {
+		case stateAlive:
 			s.Alive++
+		case stateSuspect:
+			s.Suspect++
 		}
 	}
 	c.mu.Lock()
@@ -202,12 +223,8 @@ func (c *Coordinator) Members() []control.MemberInfo {
 	c.mu.Unlock()
 	var out []control.MemberInfo
 	for _, v := range c.dir.snapshot(now) {
-		state := "alive"
-		if v.expired {
-			state = "expired"
-		}
 		out = append(out, control.MemberInfo{
-			ID: v.id, State: state, Loops: perWorker[v.id],
+			ID: v.id, State: stateName(v.state), Loops: perWorker[v.id],
 			Series: v.hb.Series, Samples: v.hb.Samples, Rounds: v.hb.Rounds,
 			LastBeatMS: v.sinceBeat.Milliseconds(),
 		})
@@ -341,7 +358,8 @@ func (c *Coordinator) rebalanceLocked(now time.Time) {
 // Tick drives lease sweeping, failover, and assignment retry at wall time
 // now. Call it from a ticker (modad uses its 250ms drive loop).
 func (c *Coordinator) Tick(now time.Time) {
-	expired := c.dir.Sweep(now)
+	suspects, expired := c.dir.Sweep(now)
+	c.suspects.Add(uint64(len(suspects)))
 	c.mu.Lock()
 	if len(expired) > 0 {
 		for _, id := range expired {
@@ -399,6 +417,19 @@ func (c *Coordinator) handleHello(env bus.Envelope) {
 			p.state = placePlaced
 		}
 	}
+	// Rejoin reconciliation, the other direction: revoke held groups that
+	// are no longer this worker's to run — unspec'd while it was away, or
+	// failed over to another owner during a partition. Groups the ring
+	// will hand straight back are left alone; the rebalance below
+	// re-assigns them and the worker's idempotent assign handler acks
+	// without a re-spawn.
+	for _, g := range h.Groups {
+		p := c.specs[g]
+		if p != nil && (p.worker == h.Worker || c.ring.Owner(g) == h.Worker) {
+			continue
+		}
+		c.publish(TopicRevoke, Revoke{Worker: h.Worker, ID: c.newID("rev"), Group: g})
+	}
 	c.rebalanceLocked(now)
 }
 
@@ -443,6 +474,14 @@ func (c *Coordinator) handleDigest(env bus.Envelope) {
 	if err := bus.DecodePayload(env, &d); err != nil || d.Worker == "" {
 		return
 	}
+	if d.Backfill {
+		// A rejoined worker re-delivering what it executed while
+		// partitioned (degraded standalone mode, local fail-open). The
+		// actions already ran and predate the arbitration window, so they
+		// are recorded, not arbitrated — and no verdict is owed.
+		c.backfilled.Add(1)
+		return
+	}
 	c.digests.Add(1)
 	c.publish(TopicVerdict, c.arb.Decide(d, time.Now()))
 }
@@ -453,13 +492,18 @@ func (c *Coordinator) publish(topic string, payload interface{}) {
 }
 
 // ledger journals one placement event when a ledger WAL is attached.
-// Failures are silently counted into the WAL's own error state; placement
-// state is reconstructible from worker hellos even with a torn ledger.
+// Failures are counted (cluster_ledger_faults_total) but never block
+// placement: the ledger is a restart optimization, and placement state is
+// reconstructible from worker hellos even with a torn ledger. Retryable
+// faults (backlog, ENOSPC) heal inside the WAL; a fatal fault leaves the
+// WAL sticky-failed and every later append lands here once per event.
 func (c *Coordinator) ledger(ev ledgerEvent) {
 	if c.opts.Ledger == nil {
 		return
 	}
-	_, _ = c.opts.Ledger.Append(wal.KindClusterEvent, mustJSON(ev))
+	if _, err := c.opts.Ledger.Append(wal.KindClusterEvent, mustJSON(ev)); err != nil {
+		c.ledgerFaults.Add(1)
+	}
 }
 
 // ledgerEvent is one KindClusterEvent record.

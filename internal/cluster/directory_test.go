@@ -6,7 +6,7 @@ import (
 )
 
 func TestDirectoryLeaseLifecycle(t *testing.T) {
-	d := NewDirectory(5 * time.Second)
+	d := NewDirectory(5*time.Second, 3*time.Second)
 	t0 := time.Unix(100, 0)
 
 	if !d.Hello("w1", t0) {
@@ -22,27 +22,35 @@ func TestDirectoryLeaseLifecycle(t *testing.T) {
 		t.Fatal("Beat of an unknown member should fail")
 	}
 
-	// Within the lease nothing expires.
-	if expired := d.Sweep(t0.Add(6 * time.Second)); len(expired) != 0 {
-		t.Fatalf("Sweep expired %v inside the lease window", expired)
+	// Within the lease nothing happens. Last beat was at +2s, TTL 5s.
+	if sus, exp := d.Sweep(t0.Add(6 * time.Second)); len(sus) != 0 || len(exp) != 0 {
+		t.Fatalf("Sweep inside the lease window moved tiers: suspect=%v expired=%v", sus, exp)
 	}
-	// Past the lease the member expires, exactly once.
-	expired := d.Sweep(t0.Add(8 * time.Second))
-	if len(expired) != 1 || expired[0] != "w1" {
-		t.Fatalf("Sweep = %v, want [w1]", expired)
+	// Past the lease the member turns suspect — once — and keeps its ring
+	// position ("worker slow", not "worker dead").
+	sus, exp := d.Sweep(t0.Add(8 * time.Second))
+	if len(sus) != 1 || sus[0] != "w1" || len(exp) != 0 {
+		t.Fatalf("Sweep past TTL = suspect %v expired %v, want suspect [w1]", sus, exp)
 	}
-	if expired := d.Sweep(t0.Add(9 * time.Second)); len(expired) != 0 {
-		t.Fatalf("second Sweep re-expired %v", expired)
+	if !d.IsAlive("w1") {
+		t.Fatal("suspect member must keep its membership")
+	}
+	if sus, exp := d.Sweep(t0.Add(9 * time.Second)); len(sus) != 0 || len(exp) != 0 {
+		t.Fatalf("second Sweep re-reported: suspect=%v expired=%v", sus, exp)
+	}
+	// Past TTL+grace (2s + 5s + 3s) the suspect expires, exactly once.
+	if sus, exp := d.Sweep(t0.Add(11 * time.Second)); len(sus) != 0 || len(exp) != 1 || exp[0] != "w1" {
+		t.Fatalf("Sweep past grace = suspect %v expired %v, want expired [w1]", sus, exp)
 	}
 	if d.IsAlive("w1") {
 		t.Fatal("expired member reported alive")
 	}
 	// Heartbeats from the dead are not resurrections.
-	if d.Beat(Heartbeat{Worker: "w1", Seq: 9}, t0.Add(9*time.Second)) {
+	if d.Beat(Heartbeat{Worker: "w1", Seq: 9}, t0.Add(11*time.Second)) {
 		t.Fatal("Beat of an expired member should fail")
 	}
 	// A re-Hello revives it and reports fresh (ring re-add).
-	if !d.Hello("w1", t0.Add(10*time.Second)) {
+	if !d.Hello("w1", t0.Add(12*time.Second)) {
 		t.Fatal("re-Hello of an expired member should report fresh")
 	}
 	if !d.IsAlive("w1") {
@@ -50,8 +58,47 @@ func TestDirectoryLeaseLifecycle(t *testing.T) {
 	}
 }
 
+// TestDirectoryBlipDoesNotReassign is the flapping regression: one missed
+// beat pushes a worker into the suspect tier, and the next heartbeat —
+// arriving within the grace window — re-acquires the lease with no
+// re-Hello and no expiry. Since reassignment is driven only by the expired
+// list, a 1-beat blip can never move loops.
+func TestDirectoryBlipDoesNotReassign(t *testing.T) {
+	d := NewDirectory(time.Second, time.Second)
+	t0 := time.Unix(0, 0)
+	d.Hello("w1", t0)
+	d.Hello("w2", t0)
+
+	// w1 misses one beat: sweep at +1.5s marks it suspect.
+	d.Beat(Heartbeat{Worker: "w2", Seq: 1}, t0.Add(1200*time.Millisecond))
+	sus, exp := d.Sweep(t0.Add(1500 * time.Millisecond))
+	if len(sus) != 1 || sus[0] != "w1" || len(exp) != 0 {
+		t.Fatalf("blip sweep = suspect %v expired %v, want suspect [w1] only", sus, exp)
+	}
+
+	// The delayed beat lands inside the grace window: plain Beat (no
+	// Hello) must re-acquire the lease.
+	if !d.Beat(Heartbeat{Worker: "w1", Seq: 2}, t0.Add(1800*time.Millisecond)) {
+		t.Fatal("beat within grace window must re-acquire the lease without a re-Hello")
+	}
+	// No sweep from here on expires anyone — no reassignment trigger.
+	// (Bounded at +2.1s: past that the members' fresh leases lapse again.)
+	for ms := 1900; ms <= 2100; ms += 100 {
+		if sus, exp := d.Sweep(t0.Add(time.Duration(ms) * time.Millisecond)); len(sus) != 0 || len(exp) != 0 {
+			t.Fatalf("sweep at +%dms after recovery: suspect=%v expired=%v, want none", ms, sus, exp)
+		}
+	}
+	if got := d.Alive(); len(got) != 2 {
+		t.Fatalf("Alive after blip = %v, want both members", got)
+	}
+	// And a Hello was never needed: w1 is plain alive, not "fresh".
+	if d.Hello("w1", t0.Add(3*time.Second)) {
+		t.Fatal("recovered member re-Hello reported fresh — the blip churned membership")
+	}
+}
+
 func TestDirectoryAliveSorted(t *testing.T) {
-	d := NewDirectory(0)
+	d := NewDirectory(0, 0)
 	now := time.Unix(0, 0)
 	for _, id := range []string{"w3", "w1", "w2"} {
 		d.Hello(id, now)

@@ -31,8 +31,9 @@ type scatter struct {
 	mu     sync.Mutex
 	flight map[string]*fan
 
-	fanned  atomic.Uint64
-	timeous atomic.Uint64
+	fanned   atomic.Uint64
+	timeous  atomic.Uint64
+	partials atomic.Uint64
 }
 
 type fan struct {
@@ -120,18 +121,25 @@ func (s *scatter) Fan(workers []string, build func(worker, id string) Fanout) []
 // MergeQuery merges per-worker tsdb responses into one: series concatenate
 // (each worker owns its own slice of the facility, so series never need
 // deduplication) and sort by metric, then label fingerprint, for a
-// deterministic wire order; worker errors concatenate into Err.
+// deterministic wire order. Workers that timed out or errored do not void
+// the answer — the merge is typed partial: Partial is set, Failed
+// attributes each missing slice to its worker, and Err keeps the flat
+// human-readable join for older callers.
 func MergeQuery(id string, replies []FanReply) tsdb.QueryResponse {
 	out := tsdb.QueryResponse{ID: id}
 	var errs []string
+	fail := func(worker, msg string) {
+		errs = append(errs, worker+": "+msg)
+		out.Failed = append(out.Failed, tsdb.SourceError{Source: worker, Err: msg})
+	}
 	for _, r := range replies {
 		switch {
 		case r.Err != "":
-			errs = append(errs, r.Worker+": "+r.Err)
+			fail(r.Worker, r.Err)
 		case r.Query == nil:
-			errs = append(errs, r.Worker+": empty reply")
+			fail(r.Worker, "empty reply")
 		case r.Query.Err != "":
-			errs = append(errs, r.Worker+": "+r.Query.Err)
+			fail(r.Worker, r.Query.Err)
 		default:
 			out.Series = append(out.Series, r.Query.Series...)
 		}
@@ -144,6 +152,7 @@ func MergeQuery(id string, replies []FanReply) tsdb.QueryResponse {
 		return labelFingerprint(a.Labels) < labelFingerprint(b.Labels)
 	})
 	out.Err = strings.Join(errs, "; ")
+	out.Partial = len(out.Failed) > 0 && len(out.Failed) < len(replies)
 	return out
 }
 
@@ -207,10 +216,13 @@ func mergeControlLists(op, id string, replies []FanReply) control.Reply {
 	})
 	if len(errs) > 0 {
 		// Partial coverage is reported, not hidden: the merged reply stays
-		// OK when at least one worker answered, with Error naming the gaps.
+		// OK — and typed Partial — when at least one worker answered, with
+		// Error naming the gaps.
 		out.Error = strings.Join(errs, "; ")
 		if len(errs) == len(replies) {
 			out.OK = false
+		} else {
+			out.Partial = true
 		}
 	}
 	return out

@@ -94,6 +94,9 @@ func (c *Coordinator) Handle(req control.Request) control.Reply {
 		})
 		merged := mergeControlLists(req.Op, req.ID, replies)
 		merged.ID = req.ID
+		if merged.Partial {
+			c.scatter.partials.Add(1)
+		}
 		return merged
 
 	default:
@@ -281,5 +284,9 @@ func (c *Coordinator) Answer(req tsdb.QueryRequest) tsdb.QueryResponse {
 		fr.ID = id
 		return Fanout{Worker: w, ID: id, Query: &fr}
 	})
-	return MergeQuery(req.ID, replies)
+	resp := MergeQuery(req.ID, replies)
+	if resp.Partial {
+		c.scatter.partials.Add(1)
+	}
+	return resp
 }

@@ -131,6 +131,11 @@ type Digest struct {
 	Worker  string               `json:"worker"`
 	Seq     uint64               `json:"seq"`
 	Actions []fleet.ActionDigest `json:"actions"`
+	// Backfill marks a digest re-delivered from a worker's degraded-mode
+	// buffer after the link healed. The actions it describes already ran
+	// under the worker's local fail-open arbitration; the coordinator
+	// records them for observability but owes no verdict.
+	Backfill bool `json:"backfill,omitempty"`
 }
 
 // Verdict answers one Digest: Deny[i] suppresses Actions[i] on the worker,

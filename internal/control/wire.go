@@ -190,10 +190,14 @@ type CaseInfo struct {
 // fields is set, matching the op; Error carries the failure text when OK is
 // false.
 type Reply struct {
-	ID      string        `json:"id,omitempty"`
-	Op      string        `json:"op"`
-	OK      bool          `json:"ok"`
-	Error   string        `json:"error,omitempty"`
+	ID    string `json:"id,omitempty"`
+	Op    string `json:"op"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Partial marks a cluster-merged reply that is missing at least one
+	// worker's contribution: OK with the reachable workers' results, Error
+	// naming the gaps. Single-process replies never set it.
+	Partial bool          `json:"partial,omitempty"`
 	Loops   []LoopStatus  `json:"loops,omitempty"`
 	Loop    *LoopStatus   `json:"loop,omitempty"`
 	Spec    *LoopSpec     `json:"spec,omitempty"`

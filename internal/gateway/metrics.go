@@ -58,6 +58,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("wal_syncs_total", m.Syncs)
 		row("wal_rotations_total", m.Rotations)
 		row("wal_truncated_bytes_total", m.Truncated)
+		row("wal_storage_faults_total", m.StorageFaults)
+		row("wal_write_retries_total", m.WriteRetries)
+		row("wal_backlog_rejects_total", m.BacklogRejects)
 	}
 	if srv := g.opts.WireServer; srv != nil {
 		row("bus_wire_clients", srv.NumClients())
@@ -68,6 +71,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cs := cl.Stats()
 		row("cluster_members", cs.Members)
 		row("cluster_members_alive", cs.Alive)
+		row("cluster_members_suspect", cs.Suspect)
 		row("cluster_specs", cs.Specs)
 		row("cluster_specs_placed", cs.Placed)
 		row("cluster_assigns_total", cs.Assigns)
@@ -77,6 +81,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("cluster_fanout_timeouts_total", cs.FanTimeouts)
 		row("cluster_digests_total", cs.DigestsSeen)
 		row("cluster_digests_denied_total", cs.DigestsDenied)
+		row("cluster_digests_backfilled_total", cs.DigestsBackfilled)
+		row("cluster_suspect_events_total", cs.SuspectEvents)
+		row("cluster_scatter_partial_total", cs.ScatterPartials)
+		row("cluster_ledger_faults_total", cs.LedgerFaults)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")

@@ -46,10 +46,26 @@ type WireSeries struct {
 }
 
 // QueryResponse answers one QueryRequest, echoing its ID.
+//
+// A single-store response never sets Partial or Failed. A cluster
+// coordinator merging per-worker answers sets Partial when at least one
+// source failed to contribute and Failed names each gap, so callers can
+// tell "empty because nothing matched" from "empty because the owner was
+// unreachable".
 type QueryResponse struct {
 	ID     string       `json:"id,omitempty"`
 	Series []WireSeries `json:"series,omitempty"`
 	Err    string       `json:"err,omitempty"`
+	// Partial marks a merged response missing at least one source's slice.
+	Partial bool `json:"partial,omitempty"`
+	// Failed attributes each missing slice to its source.
+	Failed []SourceError `json:"failed,omitempty"`
+}
+
+// SourceError attributes one failed contribution to a merged response.
+type SourceError struct {
+	Source string `json:"source"`
+	Err    string `json:"err"`
 }
 
 // Service answers QueryRequest envelopes published on a bus from a DB —

@@ -1,0 +1,213 @@
+package wal_test
+
+// Storage-fault behavior under the injected filesystem: typed error
+// propagation from group commit, the retryable-vs-fatal taxonomy, no
+// silent record loss across a retried fault, and the fault counters. Lives
+// in package wal_test because the injector (internal/chaos.FS) imports wal
+// for the FS interface.
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+
+	"autoloop/internal/chaos"
+	"autoloop/internal/wal"
+)
+
+// openFaulty opens a WAL on a fresh dir over a chaos FS with group commit
+// effectively disabled (an hour), so the test's explicit Sync calls are
+// the only committers and every fault lands deterministically.
+func openFaulty(t *testing.T, opt wal.Options) (*wal.WAL, *chaos.FS) {
+	t.Helper()
+	fs := chaos.NewFS()
+	opt.FS = fs
+	if opt.BatchInterval == 0 {
+		opt.BatchInterval = time.Hour
+	}
+	w, err := wal.Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, fs
+}
+
+// replayAll drains the log and returns the payloads.
+func replayAll(t *testing.T, w *wal.WAL) []string {
+	t.Helper()
+	r, err := w.Replay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []string
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		out = append(out, string(rec.Payload))
+	}
+}
+
+func TestGroupCommitENOSPCIsRetryable(t *testing.T) {
+	w, fs := openFaulty(t, wal.Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(wal.KindBusEnvelope, []byte{'a' + byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Arm(chaos.FSFaults{FailWrites: 1})
+	err := w.Sync()
+	var fe *wal.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Sync under ENOSPC = %v, want *wal.FaultError", err)
+	}
+	if fe.Op != "write" || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("fault = %+v, want a write/ENOSPC", fe)
+	}
+	if !fe.Retryable() || !wal.Retryable(err) {
+		t.Fatal("ENOSPC write fault must classify retryable")
+	}
+
+	// The fault must not wedge the log: the retry commits every record.
+	if _, err := w.Append(wal.KindBusEnvelope, []byte("d")); err != nil {
+		t.Fatalf("append after retryable fault: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	if got := replayAll(t, w); len(got) != 4 || got[0] != "a" || got[3] != "d" {
+		t.Fatalf("replay after retry = %q, want all 4 records in order", got)
+	}
+	m := w.Metrics()
+	if m.StorageFaults != 1 || m.WriteRetries != 1 {
+		t.Fatalf("metrics = %+v, want StorageFaults=1 WriteRetries=1", m)
+	}
+}
+
+func TestGroupCommitShortWriteCompletesFrame(t *testing.T) {
+	w, fs := openFaulty(t, wal.Options{})
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := w.Append(wal.KindTSDBAppend, payload); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(chaos.FSFaults{ShortWrites: 1})
+	err := w.Sync()
+	if !wal.Retryable(err) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Sync under short write = %v, want retryable short-write fault", err)
+	}
+	// The retry must write exactly the unwritten tail: the half-frame on
+	// disk plus the requeued remainder reassemble into one valid frame.
+	if err := w.Sync(); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	got := replayAll(t, w)
+	if len(got) != 1 || got[0] != string(payload) {
+		t.Fatalf("replay after short-write retry: %d records, frame intact=%v", len(got), len(got) == 1 && got[0] == string(payload))
+	}
+}
+
+func TestFsyncFaultIsFatalAndSticky(t *testing.T) {
+	w, fs := openFaulty(t, wal.Options{})
+	if _, err := w.Append(wal.KindKnowledgeOp, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(chaos.FSFaults{FailFsyncs: 1})
+	err := w.Sync()
+	var fe *wal.FaultError
+	if !errors.As(err, &fe) || fe.Op != "fsync" {
+		t.Fatalf("Sync under fsync fault = %v, want *wal.FaultError{Op: fsync}", err)
+	}
+	if fe.Retryable() || wal.Retryable(err) {
+		t.Fatal("a failed fsync must never classify retryable")
+	}
+	// Sticky: the wedged log returns the same fault for every later op,
+	// no silent acceptance of records whose durability it cannot promise.
+	if _, aerr := w.Append(wal.KindKnowledgeOp, []byte("y")); !errors.Is(aerr, err) {
+		t.Fatalf("append after fatal fault = %v, want sticky %v", aerr, err)
+	}
+	if serr := w.Sync(); !errors.Is(serr, err) {
+		t.Fatalf("sync after fatal fault = %v, want sticky %v", serr, err)
+	}
+	if m := w.Metrics(); m.StorageFaults != 1 {
+		t.Fatalf("StorageFaults = %d, want 1", m.StorageFaults)
+	}
+}
+
+func TestSyncAlwaysENOSPCKeepsRecordBuffered(t *testing.T) {
+	w, fs := openFaulty(t, wal.Options{Sync: wal.SyncAlways})
+	fs.Arm(chaos.FSFaults{FailWrites: 1})
+	seq, err := w.Append(wal.KindClusterEvent, []byte("first"))
+	if !wal.Retryable(err) {
+		t.Fatalf("SyncAlways append under ENOSPC = %v, want retryable", err)
+	}
+	if seq == 0 {
+		t.Fatal("retryable SyncAlways append must still assign a seq (record is buffered, not lost)")
+	}
+	// The next append's inline flush retries the buffered frame too.
+	if _, err := w.Append(wal.KindClusterEvent, []byte("second")); err != nil {
+		t.Fatalf("append after retryable fault: %v", err)
+	}
+	if got := replayAll(t, w); len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("replay = %q, want both records in order", got)
+	}
+}
+
+func TestAppendBacklogSheds(t *testing.T) {
+	w, _ := openFaulty(t, wal.Options{MaxBacklog: 256})
+	var rejected error
+	for i := 0; i < 1024 && rejected == nil; i++ {
+		_, err := w.Append(wal.KindBusEnvelope, make([]byte, 32))
+		if err != nil {
+			rejected = err
+		}
+	}
+	if !errors.Is(rejected, wal.ErrBacklog) || !wal.Retryable(rejected) {
+		t.Fatalf("overfull backlog append = %v, want retryable ErrBacklog", rejected)
+	}
+	if m := w.Metrics(); m.BacklogRejects == 0 {
+		t.Fatal("BacklogRejects not counted")
+	}
+	// Draining the backlog reopens the gate.
+	if err := w.Sync(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := w.Append(wal.KindBusEnvelope, []byte("ok")); err != nil {
+		t.Fatalf("append after drain: %v", err)
+	}
+}
+
+func TestRotationCreateFaultRetries(t *testing.T) {
+	w, fs := openFaulty(t, wal.Options{SegmentBytes: 64})
+	if _, err := w.Append(wal.KindBusEnvelope, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(chaos.FSFaults{FailCreates: 1})
+	err := w.Sync() // write lands, rotation's segment create fails
+	if !wal.Retryable(err) {
+		t.Fatalf("Sync under create fault = %v, want retryable (segment limit is soft)", err)
+	}
+	// Next commit retries the rotation; the log keeps accepting.
+	if _, err := w.Append(wal.KindBusEnvelope, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	if got := replayAll(t, w); len(got) != 2 {
+		t.Fatalf("replay = %d records, want 2", len(got))
+	}
+	if segs := w.Segments(); len(segs) < 2 {
+		t.Fatalf("segments = %v, want rotation to have happened on retry", segs)
+	}
+}

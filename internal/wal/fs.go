@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// FS is the narrow filesystem surface the WAL writes through. Production
+// code uses the process filesystem (the zero value of Options); tests
+// inject a fault-simulating implementation (internal/chaos.FS) to exercise
+// short writes, fsync failures, and ENOSPC without touching real storage
+// semantics. The interface is deliberately minimal: exactly the calls the
+// WAL makes, nothing speculative.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadDir(dir string) ([]os.DirEntry, error)
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a just-created or just-removed file's
+	// directory entry is durable.
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface of FS. *os.File satisfies it structurally
+// (osFile wraps it only to return the interface type).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error                  { return syncDir(dir) }
+
+// ErrBacklog is returned by Append when the in-memory frame buffer has
+// grown past Options.MaxBacklog — the group committer is stalled or the
+// storage underneath it is faulting faster than it recovers. It is a
+// retryable condition: the caller should shed or retry the record, not
+// tear the WAL down (see Retryable).
+var ErrBacklog = errors.New("wal: append backlog full (storage stalled or faulting)")
+
+// FaultError is a typed storage fault surfaced by the WAL: a failed or
+// short segment write, a failed fsync, or a failed segment create. Op is
+// the operation ("write", "fsync", "create"), Path the segment involved.
+//
+// The retryable-vs-fatal split follows the post-fsyncgate consensus:
+//
+//   - write faults from ENOSPC or a short write are retryable — the
+//     unwritten tail is still in the WAL's buffer, space may free up, and
+//     the retry writes exactly the missing bytes at the right offset;
+//   - fsync faults are fatal — after a failed fsync the kernel may have
+//     dropped the dirty pages while clearing the error, so no retry can
+//     restore the durability claim. The WAL goes sticky-failed and every
+//     later operation returns the same error.
+//
+// Callers that only need the policy, not the anatomy, should use the
+// package-level Retryable.
+type FaultError struct {
+	Op   string // "write", "fsync", "create"
+	Path string // segment file involved
+	Err  error  // underlying cause
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("wal: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Retryable reports whether the fault is transient by the taxonomy above.
+func (e *FaultError) Retryable() bool {
+	if e.Op == "fsync" {
+		return false
+	}
+	return errors.Is(e.Err, syscall.ENOSPC) || errors.Is(e.Err, io.ErrShortWrite)
+}
+
+// Retryable reports whether err is a storage condition worth retrying
+// (backlog pressure or a retryable *FaultError) as opposed to a fatal
+// fault that has wedged the WAL. It is the single predicate journal hooks
+// key their shed-then-halt policy on.
+func Retryable(err error) bool {
+	if errors.Is(err, ErrBacklog) {
+		return true
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe.Retryable()
+	}
+	return false
+}

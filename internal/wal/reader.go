@@ -69,17 +69,18 @@ func (sr *segmentReader) corrupt(reason string) error {
 // one with (*WAL).Replay. The Payload of each returned Record aliases an
 // internal buffer valid only until the next call to Next.
 type Reader struct {
+	fs   FS
 	dir  string
 	segs []segmentInfo
 	from uint64
 	idx  int
 	cur  *segmentReader
-	f    *os.File
+	f    File
 	err  error
 }
 
-func newReader(dir string, segs []segmentInfo, from uint64) *Reader {
-	return &Reader{dir: dir, segs: segs, from: from}
+func newReader(fsys FS, dir string, segs []segmentInfo, from uint64) *Reader {
+	return &Reader{fs: fsys, dir: dir, segs: segs, from: from}
 }
 
 // Next returns the next record with sequence >= the replay start. It
@@ -101,7 +102,7 @@ func (r *Reader) Next() (Record, error) {
 				r.idx++
 				continue
 			}
-			f, err := os.Open(filepath.Join(r.dir, seg.name))
+			f, err := r.fs.OpenFile(filepath.Join(r.dir, seg.name), os.O_RDONLY, 0)
 			if err != nil {
 				return r.fail(fmt.Errorf("wal: replay: %w", err))
 			}

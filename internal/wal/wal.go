@@ -78,6 +78,15 @@ type Options struct {
 	// the next flush starts a new segment. It is a soft limit — a flushed
 	// batch is never split across segments. Default 8 MiB.
 	SegmentBytes int64
+	// MaxBacklog bounds the in-memory frame buffer. When storage is
+	// faulting or the group committer is stalled, appends keep buffering
+	// until the backlog reaches this many bytes; past it Append returns
+	// ErrBacklog (a retryable condition) instead of growing without bound.
+	// Default 4 MiB.
+	MaxBacklog int64
+	// FS is the filesystem the log writes through; nil means the process
+	// filesystem. Tests inject a fault-simulating FS here.
+	FS FS
 }
 
 func (o *Options) fill() {
@@ -86,6 +95,12 @@ func (o *Options) fill() {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
+	}
+	if o.MaxBacklog <= 0 {
+		o.MaxBacklog = 4 << 20
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 }
 
@@ -96,12 +111,17 @@ type Metrics struct {
 	Syncs     uint64 // fsync calls
 	Rotations uint64 // segments started beyond the first
 	Truncated uint64 // torn-tail bytes dropped at Open
+
+	StorageFaults  uint64 // storage faults surfaced as *FaultError
+	WriteRetries   uint64 // retryable write faults whose unwritten tail was requeued
+	BacklogRejects uint64 // appends rejected with ErrBacklog
 }
 
 // WAL is an append-only segmented log. It is safe for concurrent use.
 type WAL struct {
 	dir string
 	opt Options
+	fs  FS
 
 	// syncMu serializes group committers (the flusher goroutine, Sync, and
 	// Close): the buffered frames are written under mu, but the fsync runs
@@ -112,13 +132,13 @@ type WAL struct {
 	// mu guards everything below. Appends under SyncBatch only encode into
 	// buf (no syscalls); the flusher goroutine and Sync drain it.
 	mu       sync.Mutex
-	f        *os.File // active segment
-	segFirst uint64   // first seq stored in the active segment
-	segSize  int64    // durable bytes in the active segment (excl. buf)
-	nextSeq  uint64   // seq the next Append assigns
-	buf      []byte   // encoded frames not yet written
-	spare    []byte   // commit's detached buffer, swapped back after the write
-	dirty    bool     // written since the last fsync
+	f        File   // active segment
+	segFirst uint64 // first seq stored in the active segment
+	segSize  int64  // durable bytes in the active segment (excl. buf)
+	nextSeq  uint64 // seq the next Append assigns
+	buf      []byte // encoded frames not yet written
+	spare    []byte // commit's detached buffer, swapped back after the write
+	dirty    bool   // written since the last fsync
 	closed   bool
 	err      error // sticky I/O error; every later op returns it
 	metrics  Metrics
@@ -169,15 +189,16 @@ func parseSegmentName(name string) (uint64, bool) {
 // surfaces as a *CorruptError during Replay.
 func Open(dir string, opt Options) (*WAL, error) {
 	opt.fill()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	w := &WAL{
 		dir:  dir,
 		opt:  opt,
+		fs:   opt.FS,
 		done: make(chan struct{}),
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := opt.FS.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -197,11 +218,11 @@ func Open(dir string, opt Options) (*WAL, error) {
 		}
 	} else {
 		last := w.segments[len(w.segments)-1]
-		count, validSize, truncated, err := scanSegment(filepath.Join(dir, last.name), last.first)
+		count, validSize, truncated, err := scanSegment(w.fs, filepath.Join(dir, last.name), last.first)
 		if err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0o644)
+		f, err := w.fs.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: open: %w", err)
 		}
@@ -240,8 +261,8 @@ func Open(dir string, opt Options) (*WAL, error) {
 // segment is fully valid), and how many trailing bytes are torn. Invalid
 // bytes are tolerated only as a tail: this is Open's crash recovery, where
 // a torn final frame is expected and everything before it must be intact.
-func scanSegment(path string, first uint64) (count uint64, validSize int64, torn int64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys FS, path string, first uint64) (count uint64, validSize int64, torn int64, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("wal: open: %w", err)
 	}
@@ -267,19 +288,28 @@ func scanSegment(path string, first uint64) (count uint64, validSize int64, torn
 // startSegmentLocked creates and activates the segment whose first record
 // will be seq. Caller holds mu (or is Open, pre-publication).
 func (w *WAL) startSegmentLocked(seq uint64) error {
+	// Create the new segment before retiring the old one: a failed create
+	// (ENOSPC, say) then leaves the active segment open and writable, so
+	// the retryable fault really can be retried at the next flush — the
+	// segment limit is soft by contract.
+	name := segmentName(seq)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		w.metrics.StorageFaults++
+		return &FaultError{Op: "create", Path: filepath.Join(w.dir, name), Err: err}
+	}
 	if w.f != nil {
 		if err := w.fsyncLocked(); err != nil { // completed segments are always durable
+			f.Close()
+			_ = w.fs.Remove(filepath.Join(w.dir, name))
 			return err
 		}
 		if err := w.f.Close(); err != nil {
+			f.Close()
+			_ = w.fs.Remove(filepath.Join(w.dir, name))
 			return fmt.Errorf("wal: rotate: %w", err)
 		}
 		w.metrics.Rotations++
-	}
-	name := segmentName(seq)
-	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: create segment: %w", err)
 	}
 	w.f = f
 	w.segFirst = seq
@@ -288,7 +318,12 @@ func (w *WAL) startSegmentLocked(seq uint64) error {
 		w.nextSeq = seq
 	}
 	w.segments = append(w.segments, segmentInfo{name: name, first: seq})
-	return syncDir(w.dir)
+	return w.fs.SyncDir(w.dir)
+}
+
+// segPath returns the active segment's file path. Caller holds mu.
+func (w *WAL) segPath() string {
+	return filepath.Join(w.dir, segmentName(w.segFirst))
 }
 
 // syncDir fsyncs a directory so a just-created or just-renamed file's
@@ -314,6 +349,13 @@ func syncDir(dir string) error {
 // fsynced before Append returns; under SyncNone it is written through the
 // page cache at the flusher cadence. Steady state allocates nothing: the
 // frame is encoded into a reused internal buffer.
+//
+// Storage faults surface as typed errors: ErrBacklog when the in-memory
+// buffer has hit Options.MaxBacklog (retryable — the record was NOT
+// accepted), and *FaultError once the log has taken a disk fault. Under
+// SyncAlways a retryable *FaultError is returned alongside a valid seq:
+// the record is accepted and buffered, durability just hasn't been
+// achieved yet — callers must not re-append it.
 func (w *WAL) Append(kind uint8, payload []byte) (uint64, error) {
 	if len(payload) >= MaxRecord {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
@@ -328,6 +370,11 @@ func (w *WAL) Append(kind uint8, payload []byte) (uint64, error) {
 		w.mu.Unlock()
 		return 0, err
 	}
+	if int64(len(w.buf)) >= w.opt.MaxBacklog {
+		w.metrics.BacklogRejects++
+		w.mu.Unlock()
+		return 0, ErrBacklog
+	}
 	seq := w.nextSeq
 	w.nextSeq++
 	w.buf = appendFrame(w.buf, kind, payload)
@@ -341,37 +388,55 @@ func (w *WAL) Append(kind uint8, payload []byte) (uint64, error) {
 	}
 	w.mu.Unlock()
 	if err != nil {
-		return 0, err
+		return seq, err
 	}
 	return seq, nil
 }
 
 // flushLocked writes the buffered frames to the active segment and rotates
 // when the segment has outgrown the threshold. Caller holds mu.
+//
+// A retryable write fault (ENOSPC, short write) keeps the unwritten tail
+// of the buffer in place — the partial frame on disk is completed by the
+// next flush, so the segment stays contiguous — and leaves the WAL usable.
+// Anything else goes sticky-fatal.
 func (w *WAL) flushLocked() error {
 	if w.err != nil {
 		return w.err
 	}
 	if len(w.buf) > 0 {
 		n, err := w.f.Write(w.buf)
-		w.segSize += int64(n)
+		if n > 0 {
+			w.segSize += int64(n)
+			w.dirty = true
+		}
 		if err != nil {
-			w.err = fmt.Errorf("wal: write: %w", err)
+			fe := &FaultError{Op: "write", Path: w.segPath(), Err: err}
+			w.metrics.StorageFaults++
+			if fe.Retryable() {
+				w.metrics.WriteRetries++
+				w.buf = w.buf[:copy(w.buf, w.buf[n:])]
+				return fe
+			}
+			w.err = fe
 			return w.err
 		}
 		w.buf = w.buf[:0]
-		w.dirty = true
 	}
 	if w.segSize >= w.opt.SegmentBytes {
 		if err := w.startSegmentLocked(w.nextSeq); err != nil {
-			w.err = err
+			if !Retryable(err) {
+				w.err = err
+			}
 			return err
 		}
 	}
 	return nil
 }
 
-// fsyncLocked makes the written frames durable. Caller holds mu.
+// fsyncLocked makes the written frames durable. Caller holds mu. A failed
+// fsync is always fatal: the kernel may have dropped the dirty pages while
+// clearing the error, so no retry can restore the durability claim.
 func (w *WAL) fsyncLocked() error {
 	if w.err != nil {
 		return w.err
@@ -380,7 +445,8 @@ func (w *WAL) fsyncLocked() error {
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
-		w.err = fmt.Errorf("wal: fsync: %w", err)
+		w.metrics.StorageFaults++
+		w.err = &FaultError{Op: "fsync", Path: w.segPath(), Err: err}
 		return w.err
 	}
 	w.dirty = false
@@ -429,19 +495,40 @@ func (w *WAL) commit(fsync bool) error {
 	}
 
 	w.mu.Lock()
-	w.spare = detached[:0]
 	w.segSize += int64(n)
 	if n > 0 {
 		w.dirty = true
 	}
 	if werr != nil {
+		fe := &FaultError{Op: "write", Path: w.segPath(), Err: werr}
+		w.metrics.StorageFaults++
+		if fe.Retryable() {
+			// Requeue the unwritten tail ahead of any frames appended
+			// while the write was in flight, so on-disk order stays
+			// sequence order; the partial frame on disk is completed by
+			// the next commit. The WAL stays usable.
+			w.metrics.WriteRetries++
+			rem := detached[n:]
+			if len(w.buf) > 0 {
+				merged := make([]byte, 0, len(rem)+len(w.buf))
+				merged = append(merged, rem...)
+				merged = append(merged, w.buf...)
+				w.spare = w.buf[:0]
+				w.buf = merged
+			} else {
+				w.buf = rem
+			}
+			w.mu.Unlock()
+			return fe
+		}
 		if w.err == nil {
-			w.err = fmt.Errorf("wal: write: %w", werr)
+			w.err = fe
 		}
 		err := w.err
 		w.mu.Unlock()
 		return err
 	}
+	w.spare = detached[:0]
 	if w.segSize >= w.opt.SegmentBytes {
 		// Rotation must see an empty buffer (segment files are named by
 		// their first sequence): flush the few frames that arrived during
@@ -462,7 +549,8 @@ func (w *WAL) commit(fsync bool) error {
 	defer w.mu.Unlock()
 	if err != nil {
 		if w.err == nil {
-			w.err = fmt.Errorf("wal: fsync: %w", err)
+			w.metrics.StorageFaults++
+			w.err = &FaultError{Op: "fsync", Path: w.segPath(), Err: err}
 		}
 		return w.err
 	}
@@ -572,7 +660,7 @@ func (w *WAL) Replay(from uint64) (*Reader, error) {
 	copy(segs, w.segments)
 	w.mu.Unlock()
 	w.syncMu.Unlock()
-	return newReader(w.dir, segs, from), nil
+	return newReader(w.fs, w.dir, segs, from), nil
 }
 
 // Compact removes whole segments every record of which has sequence < keep
@@ -591,14 +679,14 @@ func (w *WAL) Compact(keep uint64) (int, error) {
 		if w.segments[1].first > keep {
 			break
 		}
-		if err := os.Remove(filepath.Join(w.dir, w.segments[0].name)); err != nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, w.segments[0].name)); err != nil {
 			return removed, fmt.Errorf("wal: compact: %w", err)
 		}
 		w.segments = w.segments[1:]
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(w.dir); err != nil {
+		if err := w.fs.SyncDir(w.dir); err != nil {
 			return removed, err
 		}
 	}
