@@ -30,6 +30,7 @@ import (
 	"autoloop/internal/fleet"
 	"autoloop/internal/gateway"
 	"autoloop/internal/knowledge"
+	"autoloop/internal/scenario"
 	"autoloop/internal/sim"
 	"autoloop/internal/wal"
 )
@@ -265,3 +266,44 @@ func NewReconnector(addr, exportPattern string, b *bus.Bus, opts ReconnectOption
 // WALRetryable reports whether a WAL append error is transient backpressure
 // (shed and retry later) as opposed to a fatal storage fault (halt).
 func WALRetryable(err error) bool { return wal.Retryable(err) }
+
+// Scenario-engine vocabulary (see internal/scenario): declarative chaos
+// scenarios — a JSON document composes a synthetic facility, workload mix,
+// loop fleet, and seeded fault-injection schedule; running one scores
+// detection, MTTR, false-positive rate, and action efficiency against the
+// ground-truth schedule.
+type (
+	// Scenario is one decoded scenario document.
+	Scenario = scenario.Spec
+	// ScenarioError is the typed decode/validation error naming the
+	// offending field.
+	ScenarioError = scenario.SpecError
+	// ScenarioRuntime is one assembled scenario stack, armed but not run.
+	ScenarioRuntime = scenario.Runtime
+	// ScenarioReport is a run's deterministic scorecard.
+	ScenarioReport = scenario.Report
+	// ScenarioLoop is one fleet member plus its scoring attribution.
+	ScenarioLoop = scenario.Loop
+)
+
+// DecodeScenario parses and validates a scenario document; errors are
+// always *ScenarioError and decoding never panics.
+func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(data) }
+
+// RunScenario assembles the scenario's full stack against reg and runs it
+// to the horizon, returning the scorecard.
+func RunScenario(spec *Scenario, reg *Registry) (*ScenarioReport, error) {
+	return scenario.Run(spec, reg)
+}
+
+// ScenarioPresets: Small is the quick-check shape, Midsize the
+// chaos-diverse CI scenario, Stress10k the 10k-node scale gate.
+func ScenarioSmall(seed int64) *Scenario   { return scenario.Small(seed) }
+func ScenarioMidsize(seed int64) *Scenario { return scenario.Midsize(seed) }
+func ScenarioStress(seed int64) *Scenario  { return scenario.Stress10k(seed) }
+
+// ScenarioInjectors lists the fault-injector library's kinds.
+func ScenarioInjectors() []string { return scenario.InjectorKinds() }
+
+// ScenarioTemplates returns each built-in case's scenario fleet entry.
+func ScenarioTemplates() []ScenarioLoop { return cases.ScenarioTemplates() }

@@ -14,8 +14,8 @@ func TestFacadeVersionAndIDs(t *testing.T) {
 		t.Error("empty version")
 	}
 	ids := autoloop.ExperimentIDs()
-	if len(ids) != 16 {
-		t.Errorf("ExperimentIDs = %d, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Errorf("ExperimentIDs = %d, want 17", len(ids))
 	}
 }
 

@@ -14,6 +14,17 @@
 //	      [-wal-dir dir] [-fsync batch|always|none] [-snapshot-every 10m]
 //	      [-http 127.0.0.1:7676] [-http-read-token t1,t2] [-http-op-token t3]
 //
+// Scenario batch mode runs a declarative chaos scenario instead of serving:
+//
+//	modagen scenario -preset midsize -seed 1 > midsize.json
+//	modad -scenario midsize.json
+//
+// The scenario file describes the synthetic facility, workload mix, loop
+// fleet, and fault-injection schedule (see internal/scenario); modad
+// assembles the stack, runs it to the horizon on virtual time, prints the
+// deterministic score table (detection, MTTR, false-positive rate, action
+// efficiency), and exits.
+//
 // Multi-node mode splits the same daemon across processes:
 //
 //	modad -role=coordinator -addr :7675 -cluster-addr :7677 [-wal-dir dir]
@@ -72,6 +83,7 @@ import (
 	"autoloop/internal/hw"
 	"autoloop/internal/knowledge"
 	"autoloop/internal/pfs"
+	"autoloop/internal/scenario"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
 	"autoloop/internal/telemetry"
@@ -116,6 +128,25 @@ func main() {
 	}
 }
 
+// runScenario is the -scenario batch path: the full stack assembled from
+// one declarative document, run to its horizon, scored, and printed.
+func runScenario(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Decode(data)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Run(spec, cases.NewRegistry())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	return nil
+}
+
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7675", "TCP address to serve envelopes on")
 	httpAddr := flag.String("http", "", "HTTP gateway address (empty = no HTTP; e.g. 127.0.0.1:7676)")
@@ -124,6 +155,7 @@ func run() error {
 	speed := flag.Int("speed", 60, "virtual seconds per wall second")
 	duration := flag.Duration("duration", 2*time.Minute, "wall-clock run time (0 = forever)")
 	specsPath := flag.String("specs", "", "JSON loop-spec file replacing the built-in fleet")
+	scenarioPath := flag.String("scenario", "", "scenario file: assemble the described facility, run it to its horizon on virtual time, print the score table, and exit (batch mode; see modagen scenario)")
 	walDir := flag.String("wal-dir", "", "write-ahead-log directory (empty = no durability)")
 	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch, always, or none")
 	snapEvery := flag.Duration("snapshot-every", 10*time.Minute, "virtual time between snapshots")
@@ -136,6 +168,19 @@ func run() error {
 	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeat, "worker: lease-renewal period")
 	arbWindow := flag.Duration("arb-window", cluster.DefaultArbWindow, "coordinator: cross-node arbitration grant window")
 	flag.Parse()
+
+	// Scenario batch mode: no serving surface, no durability, no wall clock —
+	// decode, assemble, run to the horizon, print the deterministic score
+	// table, exit.
+	if *scenarioPath != "" {
+		if *role != "single" {
+			return fmt.Errorf("-scenario is a batch mode, incompatible with -role=%s", *role)
+		}
+		if *walDir != "" {
+			return fmt.Errorf("-scenario is a batch mode, incompatible with -wal-dir")
+		}
+		return runScenario(*scenarioPath)
+	}
 
 	// Coordinator and worker roles branch off here; the single-process path
 	// below is untouched by clustering, so dev-mode behavior (and its fixed

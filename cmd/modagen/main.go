@@ -7,6 +7,7 @@
 //
 //	modagen progress -apps 8 -seed 1 > progress.json
 //	modagen workload -jobs 240 -seed 1 > workload.json
+//	modagen scenario -preset midsize -seed 1 > midsize.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"autoloop/internal/app"
+	"autoloop/internal/scenario"
 	"autoloop/internal/sched"
 	"autoloop/internal/sim"
 	"autoloop/internal/tsdb"
@@ -53,6 +55,8 @@ func main() {
 		progressCmd(os.Args[2:])
 	case "workload":
 		workloadCmd(os.Args[2:])
+	case "scenario":
+		scenarioCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -60,7 +64,40 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: modagen progress [-apps N] [-seed N] | modagen workload [-jobs N] [-seed N]")
+	fmt.Fprintln(os.Stderr, "usage: modagen progress [-apps N] [-seed N] | modagen workload [-jobs N] [-seed N] | modagen scenario [-preset small|midsize|stress10k] [-seed N]")
+}
+
+// scenarioCmd emits a scenario-engine document (see internal/scenario) for
+// one of the built-in presets, round-tripped through the decoder so the
+// output is guaranteed to be a valid scenario file for modad -scenario.
+func scenarioCmd(args []string) {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	preset := fs.String("preset", "small", "scenario preset: small, midsize, or stress10k")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	_ = fs.Parse(args)
+
+	var spec *scenario.Spec
+	switch *preset {
+	case "small":
+		spec = scenario.Small(*seed)
+	case "midsize":
+		spec = scenario.Midsize(*seed)
+	case "stress10k":
+		spec = scenario.Stress10k(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "modagen: unknown preset %q (have small, midsize, stress10k)\n", *preset)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modagen: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := scenario.Decode(data); err != nil {
+		fmt.Fprintf(os.Stderr, "modagen: generated scenario does not decode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
 }
 
 func progressCmd(args []string) {

@@ -11,6 +11,7 @@ import (
 	"autoloop/internal/cases/powercase"
 	"autoloop/internal/cases/schedcase"
 	"autoloop/internal/control"
+	"autoloop/internal/scenario"
 )
 
 // Factories returns the six case factories in documentation order.
@@ -32,4 +33,17 @@ func NewRegistry() *control.Registry {
 		r.MustRegister(f)
 	}
 	return r
+}
+
+// ScenarioTemplates returns every case's scenario-engine entry in
+// documentation order: the building blocks for composing a scenario fleet.
+func ScenarioTemplates() []scenario.Loop {
+	return []scenario.Loop{
+		schedcase.ScenarioTemplate(),
+		maintcase.ScenarioTemplate(),
+		ioqoscase.ScenarioTemplate(),
+		ostcase.ScenarioTemplate(),
+		misconfcase.ScenarioTemplate(),
+		powercase.ScenarioTemplate(),
+	}
 }

@@ -1,0 +1,52 @@
+package cases
+
+import (
+	"testing"
+
+	"autoloop/internal/scenario"
+)
+
+// TestScenarioTemplatesMatchFactories enforces the contribution rule: every
+// registered case ships a scenario template, and every template names a
+// spawnable case.
+func TestScenarioTemplatesMatchFactories(t *testing.T) {
+	factories := Factories()
+	templates := ScenarioTemplates()
+	if len(templates) != len(factories) {
+		t.Fatalf("%d factories but %d scenario templates", len(factories), len(templates))
+	}
+	byCase := make(map[string]scenario.Loop, len(templates))
+	for _, tpl := range templates {
+		if tpl.Case == "" {
+			t.Fatalf("template with empty case name: %+v", tpl)
+		}
+		if _, dup := byCase[tpl.Case]; dup {
+			t.Fatalf("duplicate scenario template for case %q", tpl.Case)
+		}
+		byCase[tpl.Case] = tpl
+	}
+	for _, f := range factories {
+		tpl, ok := byCase[f.Name]
+		if !ok {
+			t.Fatalf("case %q has no scenario template", f.Name)
+		}
+		// A responder template must carry a full attribution triple; an
+		// optimizer template (no domain) must not claim findings or actions.
+		if tpl.Domain != "" && (len(tpl.Findings) == 0 || len(tpl.Actions) == 0) {
+			t.Fatalf("case %q template has domain %q but no attribution: %+v", f.Name, tpl.Domain, tpl)
+		}
+		if tpl.Domain == "" && (len(tpl.Findings) != 0 || len(tpl.Actions) != 0) {
+			t.Fatalf("case %q template has attribution but no domain: %+v", f.Name, tpl)
+		}
+	}
+}
+
+// TestTemplatesSpawn spawns every template against a registry-compatible
+// spec to catch template/factory drift.
+func TestTemplatesSpawn(t *testing.T) {
+	for _, tpl := range ScenarioTemplates() {
+		if err := tpl.LoopSpec.Validate(); err != nil {
+			t.Fatalf("template %q does not validate: %v", tpl.Case, err)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package misconfcase
+
+import (
+	"autoloop/internal/control"
+	"autoloop/internal/scenario"
+)
+
+// ScenarioTemplate is this case's scenario-engine entry: the LoopSpec to
+// spawn it plus its default scoring attribution. Cases land as scenario +
+// CaseFactory pairs — keep this in sync with Factory.
+func ScenarioTemplate() scenario.Loop {
+	if l, ok := scenario.TemplateFor(CaseName); ok {
+		return l
+	}
+	return scenario.Loop{LoopSpec: control.LoopSpec{Case: CaseName}}
+}

@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"EXP-A1", "EXP-A2", "EXP-A3", "EXP-A4", "EXP-C1",
 		"EXP-F1", "EXP-F2a", "EXP-F2b", "EXP-F2c", "EXP-F3", "EXP-F3b",
+		"EXP-S1",
 		"EXP-U1", "EXP-U2", "EXP-U3", "EXP-U4", "EXP-X1",
 	}
 	got := IDs()

@@ -111,6 +111,7 @@ type Stats struct {
 	Requests      uint64 // HTTP requests served (all endpoints)
 	Errors        uint64 // requests answered with a 4xx/5xx status
 	Coalesced     uint64 // /v1/query requests that joined an in-flight identical query
+	Gzipped       uint64 // /v1/query responses served gzip-encoded
 	StreamClients int64  // currently connected SSE subscribers
 	StreamEvents  uint64 // events fanned out to SSE outboxes
 	StreamDropped uint64 // events dropped at full SSE outboxes
@@ -130,6 +131,7 @@ type Gateway struct {
 	requests  atomic.Uint64
 	errors    atomic.Uint64
 	coalesced atomic.Uint64
+	gzipped   atomic.Uint64
 }
 
 // New builds a gateway over the given subsystems.
@@ -194,6 +196,7 @@ func (g *Gateway) Stats() Stats {
 		Requests:  g.requests.Load(),
 		Errors:    g.errors.Load(),
 		Coalesced: g.coalesced.Load(),
+		Gzipped:   g.gzipped.Load(),
 	}
 	if g.hub != nil {
 		s.StreamClients = g.hub.Clients()

@@ -1,0 +1,61 @@
+package gateway
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// gzipMinBytes is the smallest response body worth compressing: below it
+// the gzip header/trailer overhead and the extra CPU beat any wire saving.
+const gzipMinBytes = 1 << 10
+
+// gzipPool recycles gzip writers across responses — a gzip.Writer carries
+// ~200KB of deflate state, far too much to allocate per request.
+var gzipPool = sync.Pool{
+	New: func() interface{} {
+		zw, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+		return zw
+	},
+}
+
+// acceptsGzip reports whether the request advertises gzip support. A quality
+// value of zero ("gzip;q=0") is an explicit refusal.
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc = strings.TrimSpace(enc)
+		name, params, _ := strings.Cut(enc, ";")
+		if !strings.EqualFold(strings.TrimSpace(name), "gzip") {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if strings.TrimLeft(q, "0.") == "" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// writeMaybeGzip writes body to w, gzip-encoded when the client accepts it
+// and the payload is big enough to win. Small responses and clients without
+// Accept-Encoding: gzip keep the identity path — and its zero-allocation
+// guarantee — untouched.
+func (g *Gateway) writeMaybeGzip(w http.ResponseWriter, r *http.Request, body []byte) {
+	if len(body) < gzipMinBytes || !acceptsGzip(r) {
+		_, _ = w.Write(body)
+		return
+	}
+	zw := gzipPool.Get().(*gzip.Writer)
+	defer gzipPool.Put(zw)
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Add("Vary", "Accept-Encoding")
+	zw.Reset(w)
+	if _, err := zw.Write(body); err != nil {
+		return // client went away mid-body; nothing to salvage
+	}
+	_ = zw.Close()
+	g.gzipped.Add(1)
+}

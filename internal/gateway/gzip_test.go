@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"autoloop/internal/telemetry"
+	"autoloop/internal/tsdb"
+)
+
+// newBigTestDB seeds enough samples that the range response body clears the
+// gzip threshold.
+func newBigTestDB(t testing.TB) *tsdb.DB {
+	t.Helper()
+	db := tsdb.New(0)
+	for i := 0; i < 2000; i++ {
+		ts := time.Duration(i) * time.Second
+		if err := db.Append(telemetry.Point{Name: "cpu", Labels: telemetry.Labels{"node": "n1"}, Time: ts, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func gzQuery(g *Gateway, target, acceptEncoding string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodGet, target, nil)
+	if acceptEncoding != "" {
+		r.Header.Set("Accept-Encoding", acceptEncoding)
+	}
+	w := httptest.NewRecorder()
+	g.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func TestGatewayGzipRoundTrip(t *testing.T) {
+	g := New(Options{Store: newBigTestDB(t)})
+	defer g.Close()
+
+	plain := gzQuery(g, "/v1/query?metric=cpu&to_ms=2000000", "")
+	if plain.Code != http.StatusOK || plain.Header().Get("Content-Encoding") != "" {
+		t.Fatalf("identity response: code %d encoding %q", plain.Code, plain.Header().Get("Content-Encoding"))
+	}
+	if plain.Body.Len() < gzipMinBytes {
+		t.Fatalf("test body too small to exercise gzip: %d bytes", plain.Body.Len())
+	}
+
+	zipped := gzQuery(g, "/v1/query?metric=cpu&to_ms=2000000", "gzip")
+	if zipped.Code != http.StatusOK {
+		t.Fatalf("status = %d", zipped.Code)
+	}
+	if enc := zipped.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	if vary := zipped.Header().Get("Vary"); vary != "Accept-Encoding" {
+		t.Fatalf("Vary = %q", vary)
+	}
+	if zipped.Body.Len() >= plain.Body.Len() {
+		t.Fatalf("gzip did not shrink the body: %d >= %d", zipped.Body.Len(), plain.Body.Len())
+	}
+	zr, err := gzip.NewReader(zipped.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(unzipped) != plain.Body.String() {
+		t.Fatal("gzip body does not decode to the identity body")
+	}
+	var resp tsdb.QueryResponse
+	if err := json.Unmarshal(unzipped, &resp); err != nil {
+		t.Fatalf("decoded body is not a query response: %v", err)
+	}
+	if g.Stats().Gzipped != 1 {
+		t.Fatalf("Gzipped counter = %d, want 1", g.Stats().Gzipped)
+	}
+}
+
+// TestGatewayGzipSmallResponseIdentity: payloads under the threshold are
+// never compressed, even for gzip-capable clients.
+func TestGatewayGzipSmallResponseIdentity(t *testing.T) {
+	g := New(Options{Store: newTestDB(t)})
+	defer g.Close()
+	w := gzQuery(g, "/v1/query?metric=cpu&to_ms=10000&latest=1", "gzip")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if w.Body.Len() >= gzipMinBytes {
+		t.Fatalf("latest response unexpectedly large: %d", w.Body.Len())
+	}
+	if enc := w.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("small response compressed: %q", enc)
+	}
+	if g.Stats().Gzipped != 0 {
+		t.Fatal("Gzipped counter moved for an identity response")
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"gzip, deflate, br", true},
+		{"deflate, gzip;q=1.0", true},
+		{"br;q=1.0, gzip;q=0.8", true},
+		{"gzip;q=0", false},
+		{"gzip;q=0.0", false},
+		{"identity", false},
+		{"GZIP", true}, // content-codings are case-insensitive
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(http.MethodGet, "/", nil)
+		if tc.header != "" {
+			r.Header.Set("Accept-Encoding", tc.header)
+		}
+		if got := acceptsGzip(r); got != tc.want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

@@ -31,6 +31,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	row("gateway_requests_total", s.Requests)
 	row("gateway_request_errors_total", s.Errors)
 	row("gateway_queries_coalesced_total", s.Coalesced)
+	row("gateway_queries_gzipped_total", s.Gzipped)
 	row("gateway_sse_clients", s.StreamClients)
 	row("gateway_sse_events_total", s.StreamEvents)
 	row("gateway_sse_dropped_total", s.StreamDropped)

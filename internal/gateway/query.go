@@ -74,7 +74,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(c.enc.buf)
+	g.writeMaybeGzip(w, r, c.enc.buf)
 }
 
 // queryKey canonicalizes a request for coalescing: everything that affects

@@ -95,6 +95,10 @@ type Node struct {
 	// thermalMult scales the node's thermal resistance; > 1 models a fan or
 	// heatsink fault (failure injection for the holistic experiments).
 	thermalMult float64
+	// sensorMult biases the node's reported temperature without changing the
+	// physical model: != 1 models a miscalibrated or flapping sensor, the
+	// false-positive pressure source of the scenario engine.
+	sensorMult float64
 }
 
 // Cluster owns the node fleet.
@@ -122,6 +126,7 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 			MemGB:       cfg.MemGBPerNode,
 			tempC:       cfg.AmbientC,
 			thermalMult: 1,
+			sensorMult:  1,
 		}
 		c.nodes = append(c.nodes, n)
 		c.byID[n.ID] = n
@@ -277,6 +282,22 @@ func (c *Cluster) SetThermalFault(id string, multiplier float64) error {
 	return nil
 }
 
+// SetSensorFault biases the reported (not physical) temperature of a node by
+// a multiplicative factor; 1 is a healthy sensor. Flapping sensors toggle the
+// factor on and off to inject false-positive pressure: the thermal model is
+// untouched, only the telemetry lies.
+func (c *Cluster) SetSensorFault(id string, multiplier float64) error {
+	n, ok := c.byID[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if multiplier < 0.1 {
+		multiplier = 0.1
+	}
+	n.sensorMult = multiplier
+	return nil
+}
+
 // TotalPowerW sums instantaneous power over the fleet (IT power, feeding the
 // facility model).
 func (c *Cluster) TotalPowerW() float64 {
@@ -308,7 +329,7 @@ func (c *Cluster) Collector() telemetry.Collector {
 			pts = append(pts,
 				telemetry.Point{Name: "node.cpu.util", Labels: labels, Time: now, Value: clamp01(n.util * noise())},
 				telemetry.Point{Name: "node.power.watts", Labels: labels, Time: now, Value: n.PowerW(c.cfg) * noise()},
-				telemetry.Point{Name: "node.temp.celsius", Labels: labels, Time: now, Value: n.tempC * noise()},
+				telemetry.Point{Name: "node.temp.celsius", Labels: labels, Time: now, Value: n.tempC * n.sensorMult * noise()},
 				telemetry.Point{Name: "node.mem.used_gb", Labels: labels, Time: now, Value: n.MemUsedGB},
 				telemetry.Point{Name: "node.cores.used", Labels: labels, Time: now, Value: float64(n.CoresUsed)},
 			)

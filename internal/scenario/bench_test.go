@@ -1,0 +1,39 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"autoloop/internal/cases"
+	"autoloop/internal/scenario"
+)
+
+// BenchmarkScenarioMidsize is the chaos-diverse preset end to end: assemble,
+// run to the 4h horizon, score.
+func BenchmarkScenarioMidsize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.Run(scenario.Midsize(7), cases.NewRegistry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Scores.Detected == 0 {
+			b.Fatal("fleet detected nothing")
+		}
+	}
+}
+
+// BenchmarkScenarioStress10k is the scale gate: a 10240-node facility
+// (51k live series) sampled for 30 virtual minutes with the fleet and three
+// concurrent faults. Run with -benchtime=1x; one iteration is a full
+// scenario.
+func BenchmarkScenarioStress10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.Run(scenario.Stress10k(1), cases.NewRegistry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Points < 3_000_000 {
+			b.Fatalf("stress scenario ingested only %d points", rep.Points)
+		}
+		b.ReportMetric(float64(rep.Points), "points/op")
+	}
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzScenarioDecode asserts the decode contract on arbitrary input: no
+// panic ever, and the only error type that escapes is *SpecError. Accepted
+// documents must survive a marshal/decode round trip.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(validDoc))
+	// Malformed durations.
+	f.Add([]byte(`{"name":"x","horizon":"1 fortnight","facility":{"nodes":4},"loops":[]}`))
+	f.Add([]byte(`{"name":"x","horizon":"-3h","facility":{"nodes":4},"loops":[]}`))
+	f.Add([]byte(`{"name":"x","horizon":{"h":1},"facility":{"nodes":4},"loops":[]}`))
+	// Unknown injector kinds and fields.
+	f.Add([]byte(`{"name":"x","horizon":"1h","facility":{"nodes":4},"loops":[],"injections":[{"kind":"gamma-rays","at":"5m"}]}`))
+	f.Add([]byte(`{"name":"x","horizon":"1h","facility":{"nodes":4},"loops":[],"injections":[{"kind":"sensor-flap","at":"5m","frequency":"2m"}]}`))
+	// Overlapping / out-of-range schedules.
+	f.Add([]byte(`{"name":"x","horizon":"1h","facility":{"nodes":4},"loops":[],"injections":[` +
+		`{"kind":"thermal-cascade","at":"10m","duration":"50m"},` +
+		`{"kind":"thermal-cascade","at":"15m","duration":"50m"},` +
+		`{"kind":"disk-failures","at":"59m","duration":"50m"}]}`))
+	f.Add([]byte(`{"name":"x","horizon":"1h","facility":{"nodes":4},"loops":[],"injections":[{"kind":"sensor-flap","at":"2h"}]}`))
+	// Adversarial sizes and junk.
+	f.Add([]byte(`{"name":"x","horizon":"1h","facility":{"nodes":1073741824},"loops":[]}`))
+	f.Add([]byte(`{"name":"x","horizon":"1h","facility":{"nodes":4},"loops":[]}{"trailing":1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Decode returned %T, want *SpecError: %v", err, err)
+			}
+			if spec != nil {
+				t.Fatal("Decode returned both a spec and an error")
+			}
+			return
+		}
+		// Accepted documents must re-marshal and re-decode cleanly.
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("accepted spec does not round trip: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package scenario is the declarative chaos engine: a JSON DSL that composes
+// a synthetic facility — node counts and topology, workload mixes, sensor
+// models, and a library of fault injectors — with a deterministic seeded
+// event schedule, then runs the autonomy-loop fleet against it and scores
+// detection, MTTR, false-positive rate, and action efficiency per scenario.
+//
+// The DSL follows the control.LoopSpec idiom exactly: JSON documents with
+// unknown fields rejected, durations as Go duration strings ("5m"), and a
+// typed error (*SpecError) naming the offending field. Scenario files are
+// the unit of the corpus: the same file and seed always produce byte-
+// identical score tables.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"autoloop/internal/control"
+)
+
+// SpecError is the typed decode/validation error: Field is the dotted path
+// of the offending field ("injections[2].kind"), Msg the complaint. Decode
+// never returns any other error type.
+type SpecError struct {
+	Field string
+	Msg   string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string { return fmt.Sprintf("scenario: %s: %s", e.Field, e.Msg) }
+
+func errf(field, format string, args ...interface{}) *SpecError {
+	return &SpecError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Spec is one scenario document: the facility to synthesize, the workload to
+// run on it, the loop fleet to deploy, the fault injections to fire on the
+// sim clock, and the scoring policy.
+type Spec struct {
+	// Name labels the scenario in score tables.
+	Name string `json:"name"`
+	// Seed drives every random stream (engine, workload, injector targets).
+	Seed int64 `json:"seed"`
+	// Horizon is the virtual time the scenario runs to.
+	Horizon control.Duration `json:"horizon"`
+	// SampleEvery is the telemetry sampling cadence (default 30s).
+	SampleEvery control.Duration `json:"sample_every,omitempty"`
+	// RoundEvery is the control-round cadence driving the fleet (default
+	// 1m, rounded to a whole multiple of SampleEvery).
+	RoundEvery control.Duration `json:"round_every,omitempty"`
+
+	Facility Facility  `json:"facility"`
+	Workload *Workload `json:"workload,omitempty"`
+	// Maintenance reserves full-system maintenance windows on the
+	// scheduler (the Maintenance case's trigger).
+	Maintenance []Window `json:"maintenance,omitempty"`
+	// Loops is the fleet, in spawn order. Each entry is a control.LoopSpec
+	// plus scoring attribution fields.
+	Loops []Loop `json:"loops"`
+	// Injections is the fault schedule.
+	Injections []Injection `json:"injections,omitempty"`
+	Score      Score       `json:"score,omitempty"`
+}
+
+// Facility describes the synthetic facility: cluster topology, sensor
+// noise, the cooling plant, and the parallel filesystem.
+type Facility struct {
+	// Nodes is the cluster size (required).
+	Nodes int `json:"nodes"`
+	// NodesPerRack sets the rack topology (default 8) — thermal cascades
+	// spread within a rack.
+	NodesPerRack int     `json:"nodes_per_rack,omitempty"`
+	CoresPerNode int     `json:"cores_per_node,omitempty"`
+	MemGBPerNode float64 `json:"mem_gb_per_node,omitempty"`
+	// SensorNoise is the stddev of multiplicative sensor noise; nil keeps
+	// the hardware default (0.01), 0 disables noise.
+	SensorNoise *float64 `json:"sensor_noise,omitempty"`
+	// AmbientC overrides the initial inlet-air temperature.
+	AmbientC float64 `json:"ambient_c,omitempty"`
+	// Plant attaches the cooling plant and couples its supply setpoint
+	// into the cluster ambient (required by the power case).
+	Plant bool `json:"plant,omitempty"`
+	// OSTs sizes the parallel filesystem (default 16).
+	OSTs int `json:"osts,omitempty"`
+	// OSTBandwidthMBps is per-OST bandwidth at full health (default 500).
+	OSTBandwidthMBps float64 `json:"ost_mbps,omitempty"`
+	// StripeCount is the default file striping width (default 4).
+	StripeCount int `json:"stripe_count,omitempty"`
+}
+
+// Workload is the background job mix: jobs drawn from weighted classes with
+// exponential inter-arrival times.
+type Workload struct {
+	// Jobs is how many jobs to generate over the horizon.
+	Jobs int `json:"jobs"`
+	// ArrivalMean is the mean inter-arrival time (default horizon/jobs).
+	ArrivalMean control.Duration `json:"arrival_mean,omitempty"`
+	// Classes are the weighted application classes; empty uses one
+	// default compute-plus-I/O class.
+	Classes []JobClass `json:"classes,omitempty"`
+}
+
+// JobClass is one weighted application template in the workload mix. Zero
+// fields take defaults matching internal/app's iterative-code model.
+type JobClass struct {
+	Name string `json:"name"`
+	// Weight is the sampling weight (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Tenant is the submitting user/tenant (default the class name) — the
+	// I/O QoS case manages tenants by name.
+	Tenant string `json:"tenant,omitempty"`
+	// ItersMin/ItersMax bound the iteration count (defaults 40/200).
+	ItersMin int `json:"iters_min,omitempty"`
+	ItersMax int `json:"iters_max,omitempty"`
+	// IterMean is the mean iteration time (default 45s); IterCV its
+	// coefficient of variation (default 0.15).
+	IterMean control.Duration `json:"iter_mean,omitempty"`
+	IterCV   float64          `json:"iter_cv,omitempty"`
+	// NodesMin/NodesMax bound the allocation size (defaults 1/4).
+	NodesMin int     `json:"nodes_min,omitempty"`
+	NodesMax int     `json:"nodes_max,omitempty"`
+	UtilMean float64 `json:"util_mean,omitempty"`
+	// IOEvery/IOSizeMB/StripeCount describe periodic write phases
+	// (0 disables I/O).
+	IOEvery     int     `json:"io_every,omitempty"`
+	IOSizeMB    float64 `json:"io_size_mb,omitempty"`
+	StripeCount int     `json:"stripe_count,omitempty"`
+	// WalltimeFactor pads the request over the expected runtime
+	// (default 1.5).
+	WalltimeFactor float64 `json:"walltime_factor,omitempty"`
+}
+
+// Loop is one fleet member: the control-plane spec plus the scoring
+// attribution policy. Domain maps the loop onto injection domains
+// ("hardware", "storage", "application"); empty takes the case's default,
+// "none" excludes the loop from scoring (optimizer loops). Findings and
+// Actions, when set, restrict which finding/action kinds count for scoring;
+// empty takes the case default (nil counts everything).
+type Loop struct {
+	control.LoopSpec
+	Domain   string   `json:"domain,omitempty"`
+	Findings []string `json:"findings,omitempty"`
+	Actions  []string `json:"actions,omitempty"`
+}
+
+// Window is a closed interval on the sim clock.
+type Window struct {
+	At       control.Duration `json:"at"`
+	Duration control.Duration `json:"duration"`
+}
+
+// Injection fires one fault injector at a point on the sim clock. Kind
+// selects the injector; the remaining fields are kind-specific knobs, each
+// with a deterministic seeded default.
+type Injection struct {
+	// Kind is the injector ("thermal-cascade", "congestion-storm",
+	// "disk-failures", "misconfig-sweep", "sensor-flap").
+	Kind string `json:"kind"`
+	// At is when the fault begins.
+	At control.Duration `json:"at"`
+	// Duration is how long it lasts (kind-specific default).
+	Duration control.Duration `json:"duration,omitempty"`
+	// Node seeds node-targeted injectors (default: seeded random pick).
+	Node string `json:"node,omitempty"`
+	// OST seeds the correlated disk-failure run (default: seeded pick).
+	OST *int `json:"ost,omitempty"`
+	// Tenant is the congestion storm's aggressor tenant (default "batch").
+	Tenant string `json:"tenant,omitempty"`
+	// Count scales the blast radius: nodes faulted, OSTs degraded, jobs
+	// launched (kind-specific default).
+	Count int `json:"count,omitempty"`
+	// Severity is the kind-specific magnitude: thermal-resistance
+	// multiplier, OST health, sensor bias, storm write size in MB.
+	Severity float64 `json:"severity,omitempty"`
+	// Spread is the cascade interval between successive victims.
+	Spread control.Duration `json:"spread,omitempty"`
+	// Flap is the sensor-flap toggle period (default 2m).
+	Flap control.Duration `json:"flap,omitempty"`
+}
+
+// Score tunes the scoring policy.
+type Score struct {
+	// Grace extends each injection's attribution window past its end:
+	// findings and responses landing within it still count (default 10m).
+	Grace control.Duration `json:"grace,omitempty"`
+}
+
+// Decode parses and validates one scenario document. Unknown fields,
+// malformed durations, unknown injector kinds, and out-of-range schedules
+// are all rejected with a *SpecError; Decode never panics on any input.
+func Decode(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, &SpecError{Field: "document", Msg: err.Error()}
+	}
+	if dec.More() {
+		return nil, errf("document", "trailing data after scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// maxNodes bounds the facility size a document can request, keeping
+// adversarial inputs from turning Assemble into an allocation bomb.
+const maxNodes = 1 << 20
+
+// Validate checks the statically checkable parts of the spec and returns a
+// *SpecError naming the first offending field.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return errf("name", "missing scenario name")
+	}
+	if s.Horizon <= 0 {
+		return errf("horizon", "must be positive, got %v", s.Horizon)
+	}
+	if s.SampleEvery < 0 {
+		return errf("sample_every", "negative cadence %v", s.SampleEvery)
+	}
+	if s.RoundEvery < 0 {
+		return errf("round_every", "negative cadence %v", s.RoundEvery)
+	}
+	if s.SampleEvery > 0 && s.RoundEvery > 0 && s.RoundEvery < s.SampleEvery {
+		return errf("round_every", "%v shorter than sample_every %v", s.RoundEvery, s.SampleEvery)
+	}
+	if err := s.Facility.validate(); err != nil {
+		return err
+	}
+	if s.Workload != nil {
+		if err := s.Workload.validate(); err != nil {
+			return err
+		}
+	}
+	for i, w := range s.Maintenance {
+		field := fmt.Sprintf("maintenance[%d]", i)
+		if w.At < 0 {
+			return errf(field+".at", "negative time %v", w.At)
+		}
+		if w.Duration <= 0 {
+			return errf(field+".duration", "must be positive, got %v", w.Duration)
+		}
+	}
+	for i := range s.Loops {
+		if err := s.Loops[i].LoopSpec.Validate(); err != nil {
+			return errf(fmt.Sprintf("loops[%d]", i), "%v", err)
+		}
+	}
+	for i, inj := range s.Injections {
+		if err := inj.validate(fmt.Sprintf("injections[%d]", i), s.Horizon.D()); err != nil {
+			return err
+		}
+	}
+	if s.Score.Grace < 0 {
+		return errf("score.grace", "negative grace %v", s.Score.Grace)
+	}
+	return nil
+}
+
+func (f *Facility) validate() error {
+	if f.Nodes <= 0 {
+		return errf("facility.nodes", "must be positive, got %d", f.Nodes)
+	}
+	if f.Nodes > maxNodes {
+		return errf("facility.nodes", "%d exceeds the %d-node cap", f.Nodes, maxNodes)
+	}
+	if f.NodesPerRack < 0 || f.CoresPerNode < 0 || f.MemGBPerNode < 0 {
+		return errf("facility", "negative topology field")
+	}
+	if f.SensorNoise != nil && *f.SensorNoise < 0 {
+		return errf("facility.sensor_noise", "negative noise %g", *f.SensorNoise)
+	}
+	if f.OSTs < 0 || f.OSTs > maxNodes {
+		return errf("facility.osts", "out of range: %d", f.OSTs)
+	}
+	if f.OSTBandwidthMBps < 0 {
+		return errf("facility.ost_mbps", "negative bandwidth %g", f.OSTBandwidthMBps)
+	}
+	if f.StripeCount < 0 {
+		return errf("facility.stripe_count", "negative stripe count %d", f.StripeCount)
+	}
+	return nil
+}
+
+func (w *Workload) validate() error {
+	if w.Jobs < 0 || w.Jobs > maxNodes {
+		return errf("workload.jobs", "out of range: %d", w.Jobs)
+	}
+	if w.ArrivalMean < 0 {
+		return errf("workload.arrival_mean", "negative interval %v", w.ArrivalMean)
+	}
+	total := 0.0
+	for i, c := range w.Classes {
+		field := fmt.Sprintf("workload.classes[%d]", i)
+		if c.Name == "" {
+			return errf(field+".name", "missing class name")
+		}
+		if c.Weight < 0 {
+			return errf(field+".weight", "negative weight %g", c.Weight)
+		}
+		if c.ItersMin < 0 || c.ItersMax < 0 || (c.ItersMax > 0 && c.ItersMin > c.ItersMax) {
+			return errf(field, "bad iteration bounds [%d, %d]", c.ItersMin, c.ItersMax)
+		}
+		if c.IterMean < 0 {
+			return errf(field+".iter_mean", "negative duration %v", c.IterMean)
+		}
+		if c.IterCV < 0 {
+			return errf(field+".iter_cv", "negative CV %g", c.IterCV)
+		}
+		if c.NodesMin < 0 || c.NodesMax < 0 || (c.NodesMax > 0 && c.NodesMin > c.NodesMax) {
+			return errf(field, "bad node bounds [%d, %d]", c.NodesMin, c.NodesMax)
+		}
+		if c.IOEvery < 0 || c.IOSizeMB < 0 || c.StripeCount < 0 {
+			return errf(field, "negative I/O field")
+		}
+		if c.WalltimeFactor < 0 {
+			return errf(field+".walltime_factor", "negative factor %g", c.WalltimeFactor)
+		}
+		if c.Weight == 0 {
+			total++ // default weight 1
+		} else {
+			total += c.Weight
+		}
+	}
+	if w.Jobs > 0 && len(w.Classes) > 0 && total <= 0 {
+		return errf("workload.classes", "weights sum to zero")
+	}
+	return nil
+}
+
+func (inj *Injection) validate(field string, horizon time.Duration) error {
+	if _, ok := injectorDomains[inj.Kind]; !ok {
+		return errf(field+".kind", "unknown injector kind %q (have %v)", inj.Kind, InjectorKinds())
+	}
+	if inj.At < 0 {
+		return errf(field+".at", "negative time %v", inj.At)
+	}
+	if inj.At.D() > horizon {
+		return errf(field+".at", "%v is past the horizon %v", inj.At, control.Duration(horizon))
+	}
+	if inj.Duration < 0 {
+		return errf(field+".duration", "negative duration %v", inj.Duration)
+	}
+	if inj.Count < 0 {
+		return errf(field+".count", "negative count %d", inj.Count)
+	}
+	if inj.Severity < 0 {
+		return errf(field+".severity", "negative severity %g", inj.Severity)
+	}
+	if inj.Spread < 0 {
+		return errf(field+".spread", "negative spread %v", inj.Spread)
+	}
+	if inj.Flap < 0 {
+		return errf(field+".flap", "negative flap period %v", inj.Flap)
+	}
+	if inj.OST != nil && *inj.OST < 0 {
+		return errf(field+".ost", "negative OST index %d", *inj.OST)
+	}
+	return nil
+}

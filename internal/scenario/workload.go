@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autoloop/internal/app"
+	"autoloop/internal/sim"
+)
+
+// genJob is one generated workload item.
+type genJob struct {
+	name     string
+	spec     app.Spec
+	tenant   string
+	nodes    int
+	walltime time.Duration
+	submitAt time.Duration
+}
+
+// defaultClasses is the workload mix used when a scenario declares jobs but
+// no classes: a latency-sensitive tenant and a throughput tenant, matching
+// the I/O QoS case's default tenant vocabulary.
+func defaultClasses() []JobClass {
+	return []JobClass{
+		{Name: "deadline", Weight: 1, IOEvery: 5, IOSizeMB: 64},
+		{Name: "batch", Weight: 2, IOEvery: 3, IOSizeMB: 128},
+	}
+}
+
+// generateJobs builds the background workload deterministically from the
+// scenario seed, on a random stream independent of the engine's.
+func generateJobs(spec *Spec, horizon time.Duration) []genJob {
+	w := spec.Workload
+	if w == nil || w.Jobs == 0 {
+		return nil
+	}
+	classes := w.Classes
+	if len(classes) == 0 {
+		classes = defaultClasses()
+	}
+	total := 0.0
+	for _, c := range classes {
+		if c.Weight <= 0 {
+			total++
+		} else {
+			total += c.Weight
+		}
+	}
+	arrival := w.ArrivalMean.D()
+	if arrival <= 0 {
+		arrival = horizon / time.Duration(w.Jobs+1)
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x77073096))
+	jobs := make([]genJob, 0, w.Jobs)
+	var at time.Duration
+	for i := 0; i < w.Jobs; i++ {
+		at += sim.Exponential{MeanV: arrival}.Sample(rng)
+		// Weighted class pick.
+		pick := rng.Float64() * total
+		cls := classes[len(classes)-1]
+		for _, c := range classes {
+			wgt := c.Weight
+			if wgt <= 0 {
+				wgt = 1
+			}
+			if pick < wgt {
+				cls = c
+				break
+			}
+			pick -= wgt
+		}
+
+		itMin, itMax := cls.ItersMin, cls.ItersMax
+		if itMin <= 0 {
+			itMin = 40
+		}
+		if itMax < itMin {
+			itMax = itMin + 160
+		}
+		iters := itMin
+		if itMax > itMin {
+			iters += rng.Intn(itMax - itMin)
+		}
+		iterMean := cls.IterMean.D()
+		if iterMean <= 0 {
+			iterMean = 45 * time.Second
+		}
+		cv := cls.IterCV
+		if cv <= 0 {
+			cv = 0.15
+		}
+		nMin, nMax := cls.NodesMin, cls.NodesMax
+		if nMin <= 0 {
+			nMin = 1
+		}
+		if nMax < nMin {
+			nMax = nMin + 3
+		}
+		nodes := nMin
+		if nMax > nMin {
+			nodes += rng.Intn(nMax - nMin)
+		}
+
+		name := fmt.Sprintf("%s%04d", cls.Name, i)
+		aspec := app.Spec{
+			Name:        name,
+			TotalIters:  iters,
+			IterTime:    sim.LogNormal{MeanV: iterMean, CV: cv},
+			MarkerEvery: 1,
+			UtilMean:    cls.UtilMean,
+			IOEvery:     cls.IOEvery,
+			IOSizeMB:    cls.IOSizeMB,
+			StripeCount: cls.StripeCount,
+		}
+		factor := cls.WalltimeFactor
+		if factor <= 0 {
+			factor = 1.5
+		}
+		wall := time.Duration(float64(iters) * float64(iterMean) * factor)
+		if wall < 10*time.Minute {
+			wall = 10 * time.Minute
+		}
+		tenant := cls.Tenant
+		if tenant == "" {
+			tenant = cls.Name
+		}
+		jobs = append(jobs, genJob{
+			name: name, spec: aspec, tenant: tenant,
+			nodes: nodes, walltime: wall, submitAt: at,
+		})
+	}
+	return jobs
+}

@@ -49,7 +49,10 @@ func BenchmarkRecovery(b *testing.B) {
 	const records = 100_000
 	payload := make([]byte, 128)
 	dir := b.TempDir()
-	w, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 32 << 20})
+	// MaxBacklog is lifted well past the seeded volume: this bench measures
+	// replay, and on a slow disk the default 4MB append bound would shed
+	// records while the log is being written.
+	w, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 32 << 20, MaxBacklog: 64 << 20})
 	if err != nil {
 		b.Fatalf("Open: %v", err)
 	}
